@@ -1,0 +1,82 @@
+// Channel-dependency-graph machinery scaling: build cost, SCC detection and
+// elementary-cycle enumeration on standard topologies and routing
+// algorithms. Engineering bench (no paper figure); establishes that the
+// analysis stack scales far beyond the paper's example networks.
+#include <benchmark/benchmark.h>
+
+#include "cdg/cdg.hpp"
+#include "routing/dor.hpp"
+#include "routing/random_routing.hpp"
+#include "topo/builders.hpp"
+
+using namespace wormsim;
+
+namespace {
+
+void BM_Cdg_BuildMeshDor(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const topo::Grid grid = topo::make_mesh({radix, radix});
+  const routing::DimensionOrderMesh dor(grid);
+  for (auto _ : state) {
+    const auto graph = cdg::ChannelDependencyGraph::build(dor);
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+  const auto graph = cdg::ChannelDependencyGraph::build(dor);
+  state.counters["channels"] = static_cast<double>(graph.vertex_count());
+  state.counters["edges"] = static_cast<double>(graph.edge_count());
+  state.counters["acyclic"] = graph.acyclic() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Cdg_BuildMeshDor)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Cdg_BuildTorusDateline(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const topo::Grid grid = topo::make_torus({radix, radix}, 2);
+  const routing::TorusDateline dor(grid);
+  for (auto _ : state) {
+    const auto graph = cdg::ChannelDependencyGraph::build(dor);
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+  const auto graph = cdg::ChannelDependencyGraph::build(dor);
+  state.counters["channels"] = static_cast<double>(graph.vertex_count());
+  state.counters["edges"] = static_cast<double>(graph.edge_count());
+  state.counters["acyclic"] = graph.acyclic() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Cdg_BuildTorusDateline)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Cdg_NumberingCertificate(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const topo::Grid grid = topo::make_mesh({radix, radix});
+  const routing::DimensionOrderMesh dor(grid);
+  const auto graph = cdg::ChannelDependencyGraph::build(dor);
+  for (auto _ : state) {
+    const auto numbering = graph.topological_numbering();
+    benchmark::DoNotOptimize(numbering);
+  }
+}
+BENCHMARK(BM_Cdg_NumberingCertificate)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Cdg_CycleEnumerationRandomTrees(benchmark::State& state) {
+  // Random suffix-closed algorithms on a hypercube: cyclic CDGs whose
+  // elementary cycles Johnson's algorithm enumerates.
+  const int dim = static_cast<int>(state.range(0));
+  const topo::Network net = topo::make_hypercube(dim);
+  util::Rng rng(42);
+  const auto alg = routing::random_tree_routing(net, rng);
+  const auto graph = cdg::ChannelDependencyGraph::build(*alg);
+  std::size_t cycles = 0;
+  for (auto _ : state) {
+    cycles = graph.elementary_cycles(5'000).size();
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["cycles"] = static_cast<double>(cycles);
+  state.counters["edges"] = static_cast<double>(graph.edge_count());
+}
+BENCHMARK(BM_Cdg_CycleEnumerationRandomTrees)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Figure 1 / Theorem 1 harness: regenerates the paper's headline result.
+// Each benchmark runs the exhaustive reachability search over the Cyclic
+// Dependency routing algorithm's message set under the synchronous model
+// and reports the verdict as counters:
+//   deadlock     1.0 if any deadlock configuration was reachable (paper: 0)
+//   exhausted    1.0 if the full adversary space was explored (paper: 1)
+//   states       states explored by the search
+// Rows mirror the proof's case analysis: minimum lengths, longer messages,
+// duplicated messages (the ">4 messages" case), deeper flit buffers, and
+// the full auxiliary probe.
+#include <benchmark/benchmark.h>
+
+#include "analysis/deadlock_search.hpp"
+#include "core/analyzer.hpp"
+#include "core/cyclic_family.hpp"
+
+using namespace wormsim;
+
+namespace {
+
+void report(benchmark::State& state,
+            const analysis::DeadlockSearchResult& result) {
+  state.counters["deadlock"] = result.deadlock_found ? 1.0 : 0.0;
+  state.counters["exhausted"] = result.exhausted ? 1.0 : 0.0;
+  state.counters["states"] = static_cast<double>(result.states_explored);
+}
+
+void BM_Fig1_MinimalParameters(benchmark::State& state) {
+  const core::CyclicFamily family(core::fig1_spec());
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(), family.message_specs(),
+        analysis::AdversaryModel::kSynchronous, {});
+    benchmark::DoNotOptimize(result.deadlock_found);
+  }
+  report(state, result);
+}
+BENCHMARK(BM_Fig1_MinimalParameters)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1_LongerMessages(benchmark::State& state) {
+  const core::CyclicFamily family(core::fig1_spec());
+  const auto extra = static_cast<std::uint32_t>(state.range(0));
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(), family.message_specs(extra),
+        analysis::AdversaryModel::kSynchronous, {});
+  }
+  report(state, result);
+}
+BENCHMARK(BM_Fig1_LongerMessages)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig1_DuplicatedMessages(benchmark::State& state) {
+  const core::CyclicFamily family(core::fig1_spec());
+  auto specs = family.message_specs();
+  const auto base = specs;
+  specs.insert(specs.end(), base.begin(), base.end());
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(family.algorithm(), specs,
+                                     analysis::AdversaryModel::kSynchronous,
+                                     {});
+  }
+  report(state, result);
+}
+BENCHMARK(BM_Fig1_DuplicatedMessages)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1_DeeperBuffers(benchmark::State& state) {
+  const core::CyclicFamily family(core::fig1_spec());
+  analysis::SearchLimits limits;
+  limits.buffer_depth = static_cast<std::uint32_t>(state.range(0));
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(),
+        family.message_specs(3 * (limits.buffer_depth - 1)),
+        analysis::AdversaryModel::kSynchronous, limits);
+  }
+  report(state, result);
+}
+BENCHMARK(BM_Fig1_DeeperBuffers)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig1_FullAuxiliaryProbe(benchmark::State& state) {
+  const core::CyclicFamily family(core::fig1_spec());
+  core::FamilyProbeResult probe;
+  for (auto _ : state) {
+    probe = core::probe_family_deadlock(family);
+  }
+  state.counters["deadlock"] = probe.deadlock_found ? 1.0 : 0.0;
+  state.counters["exhausted"] = probe.exhausted ? 1.0 : 0.0;
+  state.counters["states"] = static_cast<double>(probe.total_states);
+}
+BENCHMARK(BM_Fig1_FullAuxiliaryProbe)->Unit(benchmark::kMillisecond);
+
+// Negative control (Section 6 opening): with a total in-flight stall budget
+// of 2 the very same network deadlocks; budget 1 provably does not.
+void BM_Fig1_StallBudget(benchmark::State& state) {
+  const core::CyclicFamily family(core::fig1_spec());
+  analysis::SearchLimits limits;
+  limits.delay_budget = static_cast<std::uint32_t>(state.range(0));
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(), family.message_specs(),
+        analysis::AdversaryModel::kBoundedDelay, limits);
+  }
+  report(state, result);
+  state.counters["delay_used"] = result.delay_used_total;
+}
+BENCHMARK(BM_Fig1_StallBudget)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Reachability-search scaling: how the exhaustive deadlock search's state
+// count and runtime grow with ring size, message count and adversary model.
+// Engineering bench for the model checker that replaces the paper's hand
+// proofs.
+#include <benchmark/benchmark.h>
+
+#include "analysis/deadlock_search.hpp"
+#include "core/cyclic_family.hpp"
+#include "routing/node_table.hpp"
+#include "topo/builders.hpp"
+
+using namespace wormsim;
+
+namespace {
+
+void BM_Search_UnidirectionalRing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const topo::Network net = topo::make_unidirectional_ring(n);
+  routing::NodeTable table(net);
+  const auto sz = static_cast<std::size_t>(n);
+  for (std::size_t s = 0; s < sz; ++s)
+    for (std::size_t d = 0; d < sz; ++d)
+      if (s != d)
+        table.set(NodeId{s}, NodeId{d},
+                  *net.find_channel(NodeId{s}, NodeId{(s + 1) % sz}));
+  std::vector<sim::MessageSpec> specs;
+  for (std::size_t s = 0; s < sz; ++s)
+    specs.push_back({NodeId{s}, NodeId{(s + 2) % sz}, 2, 0, {}});
+
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(table, specs,
+                                     analysis::AdversaryModel::kSynchronous,
+                                     {});
+  }
+  state.counters["ring"] = n;
+  state.counters["states"] = static_cast<double>(result.states_explored);
+  state.counters["deadlock"] = result.deadlock_found ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Search_UnidirectionalRing)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Search_Fig1MessageCount(benchmark::State& state) {
+  // Cost of proving Figure-1 safety as the probe multiset grows.
+  const core::CyclicFamily family(core::fig1_spec());
+  const auto base = family.message_specs();
+  std::vector<sim::MessageSpec> specs;
+  const auto copies = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < copies; ++i)
+    specs.insert(specs.end(), base.begin(), base.end());
+
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(), specs, analysis::AdversaryModel::kSynchronous,
+        {});
+  }
+  state.counters["messages"] = static_cast<double>(specs.size());
+  state.counters["states"] = static_cast<double>(result.states_explored);
+  state.counters["deadlock"] = result.deadlock_found ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Search_Fig1MessageCount)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Search_DelayBudgetCost(benchmark::State& state) {
+  // State-space growth of the bounded-delay adversary on Figure 1.
+  const core::CyclicFamily family(core::fig1_spec());
+  analysis::SearchLimits limits;
+  limits.delay_budget = static_cast<std::uint32_t>(state.range(0));
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(), family.message_specs(),
+        analysis::AdversaryModel::kBoundedDelay, limits);
+  }
+  state.counters["budget"] = static_cast<double>(limits.delay_budget);
+  state.counters["states"] = static_cast<double>(result.states_explored);
+  state.counters["deadlock"] = result.deadlock_found ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Search_DelayBudgetCost)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Section 6 harness: the generalized construction's tolerance to delay.
+// For each k, reports the minimum adversarial stall budget (total and
+// max-per-message) at which the generalized-k ring deadlocks. The paper's
+// claim is that this grows without bound in k (our realization: k + 1), so
+// no fixed router clock skew suffices to wedge every instance.
+//   min_total_delay   smallest total stalled-message-cycles causing deadlock
+//   min_max_delay     smallest per-message stall bound causing deadlock
+//   definitive        1.0 when every budget scan exhausted its state space
+#include <benchmark/benchmark.h>
+
+#include "analysis/deadlock_search.hpp"
+#include "core/cyclic_family.hpp"
+
+using namespace wormsim;
+
+namespace {
+
+void BM_Sec6_MinimalDelay(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const core::CyclicFamily family(core::generalized_spec(k));
+  analysis::SearchLimits limits;
+  limits.max_states = 8'000'000;
+
+  std::optional<std::uint32_t> min_total, min_max;
+  bool exhausted_total = false, exhausted_max = false;
+  for (auto _ : state) {
+    min_total = analysis::minimal_deadlock_delay(
+        family.algorithm(), family.message_specs(),
+        analysis::DelayMetric::kTotal, static_cast<std::uint32_t>(k + 3),
+        limits, &exhausted_total);
+    min_max = analysis::minimal_deadlock_delay(
+        family.algorithm(), family.message_specs(),
+        analysis::DelayMetric::kMaxPerMessage,
+        static_cast<std::uint32_t>(k + 3), limits, &exhausted_max);
+  }
+  state.counters["k"] = k;
+  state.counters["min_total_delay"] =
+      min_total ? static_cast<double>(*min_total) : -1.0;
+  state.counters["min_max_delay"] =
+      min_max ? static_cast<double>(*min_max) : -1.0;
+  state.counters["definitive"] =
+      (exhausted_total && exhausted_max) ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Sec6_MinimalDelay)
+    ->DenseRange(1, 5, 1)
+    ->Unit(benchmark::kSecond);
+
+// The synchronous-model baseline: every generalized-k instance is provably
+// deadlock-free without stalls, whatever k.
+void BM_Sec6_SynchronousSafety(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const core::CyclicFamily family(core::generalized_spec(k));
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(), family.message_specs(),
+        analysis::AdversaryModel::kSynchronous, {});
+  }
+  state.counters["k"] = k;
+  state.counters["deadlock"] = result.deadlock_found ? 1.0 : 0.0;
+  state.counters["exhausted"] = result.exhausted ? 1.0 : 0.0;
+  state.counters["states"] = static_cast<double>(result.states_explored);
+}
+BENCHMARK(BM_Sec6_SynchronousSafety)
+    ->DenseRange(1, 6, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

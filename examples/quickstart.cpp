@@ -1,0 +1,55 @@
+// Quickstart: the three things wormsim does, in ~60 lines.
+//
+//   1. Simulate wormhole routing on a standard topology.
+//   2. Build a channel dependency graph and certify deadlock freedom.
+//   3. Decide whether a cyclic CDG is a real deadlock risk or one of the
+//      paper's "false resource cycles" — using the Figure-1 network.
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "core/cyclic_family.hpp"
+#include "routing/dor.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workloads.hpp"
+
+using namespace wormsim;
+
+int main() {
+  // --- 1. Simulate traffic on a 4x4 mesh under XY routing. ---------------
+  const topo::Grid grid = topo::make_mesh({4, 4});
+  const routing::DimensionOrderMesh dor(grid);
+
+  sim::WorkloadConfig workload;
+  workload.injection_rate = 0.01;
+  workload.message_length = 6;
+  workload.horizon = 1'000;
+  const auto specs = sim::generate_workload(grid, workload);
+
+  sim::FifoArbitration fifo;
+  sim::WormholeSimulator simulator(dor, sim::SimConfig{}, fifo);
+  for (const auto& spec : specs) simulator.add_message(spec);
+  const auto run = simulator.run();
+  const auto stats = sim::summarize_workload(simulator, run.cycles);
+  std::printf("mesh 4x4, XY routing: %zu messages, mean latency %.1f "
+              "cycles, max %.0f\n",
+              stats.delivered, stats.mean_latency, stats.max_latency);
+
+  // --- 2. Certify XY routing deadlock-free via its acyclic CDG. ----------
+  const auto graph = cdg::ChannelDependencyGraph::build(dor);
+  const auto numbering = graph.topological_numbering();
+  std::printf("XY CDG: %zu channels, %zu dependencies, %s\n",
+              graph.vertex_count(), graph.edge_count(),
+              numbering ? "acyclic (Dally-Seitz certificate found)"
+                        : "cyclic");
+
+  // --- 3. The paper's contribution: a cyclic CDG that cannot deadlock. ---
+  const core::CyclicFamily fig1(core::fig1_spec());
+  const auto analysis = core::analyze_algorithm(fig1.algorithm());
+  std::printf("Cyclic Dependency algorithm (Figure 1): CDG has %zu cycle(s); "
+              "verdict: %s (%llu states searched)\n",
+              analysis.elementary_cycle_count,
+              core::to_string(analysis.verdict),
+              static_cast<unsigned long long>(
+                  analysis.search.states_explored));
+  return analysis.verdict == core::CycleVerdict::kFalseResourceCycle ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+#include "analysis/configuration.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace wormsim::analysis {
+
+Configuration snapshot(const sim::WormholeSimulator& sim) {
+  Configuration config;
+  for (const sim::MessageOccupancy& occ : sim.occupancy()) {
+    const sim::MessageSpec& spec = sim.spec(occ.message);
+    MessagePlacement placement;
+    placement.message = occ.message;
+    placement.src = spec.src;
+    placement.dst = spec.dst;
+    placement.length = spec.length;
+    placement.occupied = occ.held;
+    placement.flits = occ.counts;
+    placement.header_in_network = occ.status == sim::MessageStatus::kMoving;
+    config.placements.push_back(std::move(placement));
+  }
+  return config;
+}
+
+LegalityReport check_legal(const Configuration& config,
+                           const routing::RoutingAlgorithm& alg,
+                           std::uint32_t buffer_depth) {
+  const topo::Network& net = alg.net();
+  LegalityReport report;
+  auto fail = [&report](std::string msg) {
+    report.legal = false;
+    if (report.violation.empty()) report.violation = std::move(msg);
+  };
+
+  std::unordered_map<std::uint32_t, std::uint32_t> queue_users;
+  for (const MessagePlacement& p : config.placements) {
+    if (p.occupied.empty()) {
+      fail("placement occupies no channel");
+      continue;
+    }
+    // Contiguity: occupied channels must form a walk.
+    for (std::size_t j = 0; j + 1 < p.occupied.size(); ++j) {
+      if (net.channel(p.occupied[j]).dst != net.channel(p.occupied[j + 1]).src)
+        fail("occupied channels are not consecutive");
+    }
+    // Capacity & flit totals.
+    std::uint32_t total = 0;
+    for (std::size_t j = 0; j < p.occupied.size(); ++j) {
+      if (p.flits[j] > buffer_depth) fail("queue over capacity");
+      total += p.flits[j];
+    }
+    if (total > p.length) fail("more flits buffered than the message has");
+    // Routing permission: the occupied sequence must be a contiguous
+    // segment of the algorithm's (unique, oblivious) path for (src, dst).
+    const auto path = routing::trace_path(alg, p.src, p.dst);
+    if (!path) {
+      fail("algorithm does not route the placement's pair");
+    } else {
+      const auto it = std::search(path->begin(), path->end(),
+                                  p.occupied.begin(), p.occupied.end());
+      if (it == path->end()) fail("occupied channels not on the routed path");
+    }
+    // Atomic buffer allocation across messages.
+    for (const ChannelId c : p.occupied) {
+      auto [it2, inserted] = queue_users.emplace(c.value(), 1u);
+      if (!inserted) fail("two messages share one channel queue");
+      (void)it2;
+    }
+  }
+  return report;
+}
+
+bool is_deadlock_shaped(const Configuration& config,
+                        const routing::RoutingAlgorithm& alg) {
+  const topo::Network& net = alg.net();
+  // Owner map.
+  std::unordered_map<std::uint32_t, MessageId> owner;
+  for (const MessagePlacement& p : config.placements)
+    for (const ChannelId c : p.occupied) owner.emplace(c.value(), p.message);
+
+  // Each message with its header in the network must be blocked on an
+  // occupied channel; build the blocked-on successor relation.
+  std::unordered_map<std::uint32_t, MessageId> successor;
+  for (const MessagePlacement& p : config.placements) {
+    if (!p.header_in_network) continue;
+    const ChannelId leading = p.occupied.back();
+    if (net.channel(leading).dst == p.dst) return false;  // header arrived
+    const ChannelId want = alg.next_channel(leading, p.dst);
+    const auto it = owner.find(want.value());
+    if (it == owner.end()) return false;  // blocked on a free channel
+    successor.emplace(p.message.value(), it->second);
+  }
+
+  // A cycle in the successor relation?
+  for (const auto& [start, _] : successor) {
+    std::unordered_map<std::uint32_t, int> seen;
+    MessageId at{start};
+    int steps = 0;
+    while (true) {
+      if (seen.contains(at.value())) return true;
+      seen.emplace(at.value(), steps++);
+      const auto next = successor.find(at.value());
+      if (next == successor.end()) break;
+      at = next->second;
+    }
+  }
+  return false;
+}
+
+}  // namespace wormsim::analysis

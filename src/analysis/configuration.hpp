@@ -1,0 +1,63 @@
+// Configurations (paper Definitions 4, 5, 6).
+//
+// A configuration assigns messages to channels; it is *legal* when every
+// message occupies consecutive channels of a path its routing algorithm
+// permits, the header sits at the head of the leading channel queue, and no
+// queue holds flits of two messages or exceeds its capacity. A *reachable*
+// configuration is one producible by routing messages from an empty network
+// — deciding reachability is exactly what analysis::find_deadlock does; this
+// header provides the static (per-state) checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace wormsim::analysis {
+
+/// One message's channel occupancy within a configuration.
+struct MessagePlacement {
+  MessageId message;
+  NodeId src;
+  NodeId dst;
+  std::uint32_t length = 1;
+  /// Occupied channels in path order (upstream -> downstream / leading).
+  std::vector<ChannelId> occupied;
+  /// Flits buffered per occupied channel (parallel to `occupied`).
+  std::vector<std::uint32_t> flits;
+  /// True while the header is still in the network (leading channel holds
+  /// it); false once the destination consumed the header.
+  bool header_in_network = true;
+};
+
+struct Configuration {
+  std::vector<MessagePlacement> placements;
+};
+
+/// Builds the current configuration of a simulation (in-flight messages
+/// only).
+Configuration snapshot(const sim::WormholeSimulator& sim);
+
+struct LegalityReport {
+  bool legal = true;
+  std::string violation;  ///< first violation found, empty when legal
+};
+
+/// Definition 4 checks: walk contiguity, routing permission (the occupied
+/// channels must be a contiguous segment of the algorithm's path for the
+/// pair), buffer capacity, and single-message-per-queue.
+LegalityReport check_legal(const Configuration& config,
+                           const routing::RoutingAlgorithm& alg,
+                           std::uint32_t buffer_depth);
+
+/// Definition 6 *shape* check: every placement's header is blocked by a
+/// channel occupied in the configuration and the blocked-on relation
+/// contains a cycle. (Reachability is established separately by the search;
+/// this predicate validates that a state reported as deadlock has exactly
+/// the structure Definition 6 demands.)
+bool is_deadlock_shaped(const Configuration& config,
+                        const routing::RoutingAlgorithm& alg);
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,302 @@
+#include "analysis/deadlock_search.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+
+namespace wormsim::analysis {
+
+namespace {
+
+/// One per-cycle adversary choice: which channel goes to which message, and
+/// which in-flight headers idled beside a free candidate (delay model).
+struct Assignment {
+  std::vector<std::pair<ChannelId, MessageId>> grants;
+  std::vector<MessageId> stalled_moving;
+};
+
+/// Enumerates all legal grant assignments for the cycle's per-message
+/// request sets. A legal assignment gives each requesting message at most
+/// one of its free candidate channels, with all granted channels distinct.
+/// Synchronous model: a *moving* header must take a channel whenever one of
+/// its candidates is left untaken — it may lose every candidate to others
+/// (normal contention) but may not idle beside a free channel; pending
+/// headers may always stay ungranted (the adversary controls generation
+/// times). Delay model: moving headers may additionally idle beside free
+/// candidates, which counts as a stall for the budget.
+std::vector<Assignment> enumerate_assignments(
+    std::span<const sim::MessageRequests> requests, AdversaryModel model,
+    std::size_t max_branches, bool& truncated) {
+  const std::size_t m = requests.size();
+  // Option -1 = skip; otherwise index into the candidate list.
+  std::vector<std::size_t> option_count(m);
+  for (std::size_t i = 0; i < m; ++i)
+    option_count[i] = requests[i].channels.size() + 1;
+
+  std::vector<Assignment> result;
+  std::vector<std::size_t> odometer(m, 0);
+  while (true) {
+    if (result.size() >= max_branches) {
+      truncated = true;
+      return result;
+    }
+
+    // Materialize and validate this combo. Option k < |channels| grants
+    // channel k; the LAST option is skip, so depth-first exploration tries
+    // granting before idling (idle-heavy prefixes explode the search).
+    Assignment a;
+    std::unordered_set<std::uint32_t> taken;
+    bool valid = true;
+    const auto is_skip = [&](std::size_t i) {
+      return odometer[i] == requests[i].channels.size();
+    };
+    for (std::size_t i = 0; i < m && valid; ++i) {
+      if (is_skip(i)) continue;
+      const ChannelId c = requests[i].channels[odometer[i]];
+      if (!taken.insert(c.value()).second) valid = false;  // collision
+      else a.grants.emplace_back(c, requests[i].message);
+    }
+    if (valid) {
+      for (std::size_t i = 0; i < m && valid; ++i) {
+        if (!is_skip(i) || !requests[i].moving) continue;
+        // A moving skipper: does it still see an untaken candidate?
+        const bool has_free_alternative = std::any_of(
+            requests[i].channels.begin(), requests[i].channels.end(),
+            [&](ChannelId c) { return !taken.contains(c.value()); });
+        if (has_free_alternative) {
+          if (model == AdversaryModel::kSynchronous)
+            valid = false;  // must progress
+          else
+            a.stalled_moving.push_back(requests[i].message);
+        }
+      }
+    }
+    if (valid) result.push_back(std::move(a));
+
+    // Advance the mixed-radix odometer.
+    std::size_t i = 0;
+    for (; i < m; ++i) {
+      if (++odometer[i] < option_count[i]) break;
+      odometer[i] = 0;
+    }
+    if (m == 0 || i == m) break;
+  }
+  return result;
+}
+
+std::string describe_assignment(const topo::Network& net,
+                                const Assignment& a) {
+  std::ostringstream os;
+  if (a.grants.empty() && a.stalled_moving.empty()) return "idle";
+  bool first = true;
+  for (const auto& [channel, message] : a.grants) {
+    if (!first) os << "; ";
+    first = false;
+    os << "grant " << net.channel(channel).name << " -> m"
+       << message.value();
+  }
+  for (const MessageId m : a.stalled_moving) {
+    if (!first) os << "; ";
+    first = false;
+    os << "stall m" << m.value();
+  }
+  return os.str();
+}
+
+std::string spent_suffix(std::span<const std::uint32_t> spent) {
+  std::string s;
+  s.reserve(spent.size());
+  for (const std::uint32_t v : spent)
+    s.push_back(static_cast<char>(v & 0xff));
+  return s;
+}
+
+void check_specs(std::span<const sim::MessageSpec> messages) {
+  for (const sim::MessageSpec& spec : messages) {
+    WORMSIM_EXPECTS_MSG(spec.release_time == 0,
+                        "the adversary controls generation times; use 0");
+    WORMSIM_EXPECTS_MSG(spec.hop_stalls.empty(),
+                        "the adversary controls stalls; leave hop_stalls empty");
+  }
+}
+
+/// The DFS over adversary choices, shared by the oblivious and adaptive
+/// entry points. `root` already carries the message multiset.
+DeadlockSearchResult search_core(sim::WormholeSimulator root,
+                                 std::size_t message_count,
+                                 const topo::Network& net,
+                                 AdversaryModel model,
+                                 const SearchLimits& limits) {
+  DeadlockSearchResult result;
+
+  struct Frame {
+    sim::WormholeSimulator sim;
+    std::vector<Assignment> branches;
+    std::size_t next = 0;
+    std::vector<std::uint32_t> spent;
+    std::string label;  ///< choice that led INTO this frame's state
+    std::vector<std::pair<ChannelId, MessageId>> grants;  ///< ditto, raw
+  };
+
+  const bool delay_mode = model == AdversaryModel::kBoundedDelay;
+  std::unordered_set<std::string> visited;
+
+  auto budget_ok = [&](std::span<const std::uint32_t> spent) {
+    if (!delay_mode) return true;
+    if (limits.metric == DelayMetric::kTotal) {
+      const std::uint64_t total =
+          std::accumulate(spent.begin(), spent.end(), std::uint64_t{0});
+      return total <= limits.delay_budget;
+    }
+    return std::all_of(spent.begin(), spent.end(), [&](std::uint32_t v) {
+      return v <= limits.delay_budget;
+    });
+  };
+
+  // Expands a state: memoization, terminal checks, branch generation.
+  // Returns the new frame to push, or nullopt when the state is terminal /
+  // already seen. Sets result fields on deadlock.
+  auto make_frame = [&](sim::WormholeSimulator&& sim,
+                        std::vector<std::uint32_t> spent, std::string label,
+                        std::vector<std::pair<ChannelId, MessageId>> grants)
+      -> std::optional<Frame> {
+    std::string key = sim.state_key();
+    if (delay_mode) key += spent_suffix(spent);
+    if (!visited.insert(std::move(key)).second) return std::nullopt;
+    ++result.states_explored;
+
+    if (sim.all_consumed()) return std::nullopt;  // safe terminal
+
+    const std::vector<sim::MessageRequests> groups = sim.peek_requests();
+    if (groups.empty()) {
+      // Only the idle transition exists; if it makes no progress the state
+      // is frozen forever with unfinished messages: a deadlock.
+      sim::WormholeSimulator child(sim);
+      const bool progressed = child.step_with_grants({});
+      if (!progressed) {
+        result.deadlock_found = true;
+        result.deadlock_configuration = snapshot(sim);
+        const auto occ = sim.occupancy();
+        result.deadlock_cycle = find_wait_cycle(
+            occ, [&sim](ChannelId c) { return sim.channel_owner(c); });
+        result.delay_used_total = static_cast<std::uint32_t>(
+            std::accumulate(spent.begin(), spent.end(), std::uint64_t{0}));
+        result.delay_used_max =
+            spent.empty() ? 0u
+                          : *std::max_element(spent.begin(), spent.end());
+        return std::nullopt;
+      }
+      Frame frame{std::move(sim), {},          0, std::move(spent),
+                  std::move(label), std::move(grants)};
+      frame.branches.push_back(Assignment{});
+      return frame;
+    }
+
+    bool truncated = false;
+    std::vector<Assignment> branches = enumerate_assignments(
+        groups, model, limits.max_branches_per_state, truncated);
+    if (truncated) result.exhausted = false;
+    return Frame{std::move(sim),   std::move(branches), 0,
+                 std::move(spent), std::move(label),    std::move(grants)};
+  };
+
+  std::vector<Frame> stack;
+  if (auto frame = make_frame(std::move(root),
+                              std::vector<std::uint32_t>(message_count, 0),
+                              "start", {})) {
+    stack.push_back(std::move(*frame));
+  }
+  if (result.deadlock_found) {
+    result.witness.push_back("initial state is frozen");
+    return result;
+  }
+
+  while (!stack.empty()) {
+    if (result.states_explored >= limits.max_states) {
+      result.exhausted = false;
+      break;
+    }
+    Frame& frame = stack.back();
+    if (frame.next >= frame.branches.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const Assignment& choice = frame.branches[frame.next++];
+
+    std::vector<std::uint32_t> child_spent = frame.spent;
+    for (const MessageId m : choice.stalled_moving)
+      ++child_spent[m.index()];
+    if (!budget_ok(child_spent)) continue;
+
+    sim::WormholeSimulator child(frame.sim);
+    child.step_with_grants(choice.grants);
+    std::string label = describe_assignment(net, choice);
+
+    auto next_frame = make_frame(std::move(child), std::move(child_spent),
+                                 std::move(label), choice.grants);
+    if (result.deadlock_found) {
+      for (const Frame& f : stack) {
+        if (f.label == "start") continue;
+        result.witness.push_back(f.label);
+        result.witness_grants.push_back(f.grants);
+      }
+      result.witness.push_back(describe_assignment(net, choice));
+      result.witness_grants.push_back(choice.grants);
+      return result;
+    }
+    if (next_frame) stack.push_back(std::move(*next_frame));
+  }
+
+  return result;
+}
+
+}  // namespace
+
+DeadlockSearchResult find_deadlock(const routing::RoutingAlgorithm& alg,
+                                   std::span<const sim::MessageSpec> messages,
+                                   AdversaryModel model,
+                                   const SearchLimits& limits) {
+  check_specs(messages);
+  sim::SimConfig config;
+  config.buffer_depth = limits.buffer_depth;
+  sim::WormholeSimulator root(alg, config);
+  for (const sim::MessageSpec& spec : messages) root.add_message(spec);
+  return search_core(std::move(root), messages.size(), alg.net(), model,
+                     limits);
+}
+
+DeadlockSearchResult find_deadlock(const routing::AdaptiveRouting& alg,
+                                   std::span<const sim::MessageSpec> messages,
+                                   AdversaryModel model,
+                                   const SearchLimits& limits) {
+  check_specs(messages);
+  sim::SimConfig config;
+  config.buffer_depth = limits.buffer_depth;
+  sim::WormholeSimulator root(alg, config);
+  for (const sim::MessageSpec& spec : messages) root.add_message(spec);
+  return search_core(std::move(root), messages.size(), alg.net(), model,
+                     limits);
+}
+
+std::optional<std::uint32_t> minimal_deadlock_delay(
+    const routing::RoutingAlgorithm& alg,
+    std::span<const sim::MessageSpec> messages, DelayMetric metric,
+    std::uint32_t max_budget, SearchLimits limits, bool* exhausted_out) {
+  bool all_exhausted = true;
+  limits.metric = metric;
+  for (std::uint32_t budget = 0; budget <= max_budget; ++budget) {
+    limits.delay_budget = budget;
+    const DeadlockSearchResult result =
+        find_deadlock(alg, messages, AdversaryModel::kBoundedDelay, limits);
+    if (!result.exhausted) all_exhausted = false;
+    if (result.deadlock_found) {
+      if (exhausted_out) *exhausted_out = all_exhausted;
+      return budget;
+    }
+  }
+  if (exhausted_out) *exhausted_out = all_exhausted;
+  return std::nullopt;
+}
+
+}  // namespace wormsim::analysis

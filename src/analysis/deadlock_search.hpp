@@ -1,0 +1,107 @@
+// Exhaustive reachability search for deadlock configurations.
+//
+// Decides, for a finite multiset of messages on a finite network, whether
+// *any* execution of the wormhole model can reach a deadlock (Definition 6).
+// This is the mechanical replacement for the paper's hand case analyses:
+// Theorem 1 ("the Figure-1 cycle is unreachable") becomes "the search
+// exhausts the synchronous-adversary state space without finding deadlock",
+// and the Figure-2/3 deadlock constructions become witnesses the search
+// finds.
+//
+// Two adversary models:
+//  - kSynchronous — the paper's Section 3–5 model: routers operate in
+//    lockstep; a header whose output channel is available advances
+//    immediately; the adversary controls only (a) message generation times
+//    and (b) the winner of every simultaneous-arbitration tie. This is the
+//    model under which the Cyclic Dependency algorithm is deadlock-free.
+//  - kBoundedDelay — the Section-6 model: additionally, any in-flight header
+//    may be stalled while its output channel is free, at a cost of one delay
+//    unit per stalled message-cycle, subject to a total or per-message
+//    budget. Section 6's claim "the generalized construction needs at least
+//    k cycles of delay to deadlock" is measured by minimal_deadlock_delay.
+//
+// The search is a depth-first exploration of the nondeterministic-grant
+// transition system with memoization on the time-independent state key, so a
+// negative answer within the state bound is a *proof* of unreachability for
+// the given message multiset, buffer depth and (in kBoundedDelay) budget.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/configuration.hpp"
+#include "sim/simulator.hpp"
+
+namespace wormsim::analysis {
+
+enum class AdversaryModel {
+  kSynchronous,   ///< paper Sections 3–5: progress mandatory, ties adversarial
+  kBoundedDelay,  ///< Section 6: in-flight stalls allowed within a budget
+};
+
+enum class DelayMetric {
+  kTotal,          ///< budget bounds the sum of stalled message-cycles
+  kMaxPerMessage,  ///< budget bounds each message's stalled cycles
+};
+
+struct SearchLimits {
+  std::uint32_t buffer_depth = 1;
+  std::uint64_t max_states = 2'000'000;
+  /// kBoundedDelay only: the delay budget (see DelayMetric).
+  std::uint32_t delay_budget = 0;
+  DelayMetric metric = DelayMetric::kTotal;
+  /// Safety valve against pathological branching at a single state.
+  std::size_t max_branches_per_state = 4096;
+};
+
+struct DeadlockSearchResult {
+  bool deadlock_found = false;
+  /// True when the full bounded space was explored; a negative result is
+  /// then a proof of deadlock freedom for these messages/budget.
+  bool exhausted = true;
+  std::uint64_t states_explored = 0;
+  /// Populated when a deadlock was found:
+  Configuration deadlock_configuration;
+  std::vector<MessageId> deadlock_cycle;
+  std::uint32_t delay_used_total = 0;
+  std::uint32_t delay_used_max = 0;
+  /// Human-readable grant trace leading to the deadlock (one line/cycle).
+  std::vector<std::string> witness;
+  /// Machine-replayable witness: the grant assignment of every cycle from
+  /// the empty network to the deadlock. Feeding these to
+  /// WormholeSimulator::step_with_grants on a fresh simulator with the same
+  /// messages reproduces the deadlock configuration exactly.
+  std::vector<std::vector<std::pair<ChannelId, MessageId>>> witness_grants;
+};
+
+/// Searches for a reachable deadlock among executions of `messages` under
+/// `alg`. All specs must have release_time 0 and no hop_stalls — generation
+/// timing and stalling are the adversary's choices inside the search.
+DeadlockSearchResult find_deadlock(const routing::RoutingAlgorithm& alg,
+                                   std::span<const sim::MessageSpec> messages,
+                                   AdversaryModel model,
+                                   const SearchLimits& limits);
+
+/// Adaptive-routing variant: the adversary additionally resolves every
+/// header's choice among its candidate output channels, and in the
+/// synchronous model a moving header must take a channel whenever one of
+/// its candidates is free — which is exactly why Duato-style escape
+/// channels guarantee progress.
+DeadlockSearchResult find_deadlock(const routing::AdaptiveRouting& alg,
+                                   std::span<const sim::MessageSpec> messages,
+                                   AdversaryModel model,
+                                   const SearchLimits& limits);
+
+/// Smallest delay budget (per `metric`) at which a deadlock becomes
+/// reachable, scanning budgets 0..max_budget. nullopt when none within the
+/// bound (definitive if every scan exhausted its space, which is reported
+/// through `*exhausted_out` when provided).
+std::optional<std::uint32_t> minimal_deadlock_delay(
+    const routing::RoutingAlgorithm& alg,
+    std::span<const sim::MessageSpec> messages, DelayMetric metric,
+    std::uint32_t max_budget, SearchLimits limits,
+    bool* exhausted_out = nullptr);
+
+}  // namespace wormsim::analysis

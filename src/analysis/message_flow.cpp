@@ -1,0 +1,68 @@
+#include "analysis/message_flow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wormsim::analysis {
+
+MessageFlowResult message_flow_analysis(
+    const routing::RoutingAlgorithm& alg) {
+  const topo::Network& net = alg.net();
+
+  // For every exercised channel, the set of channels it depends on: the
+  // continuation R(c, d) of each non-final usage (c, d). A channel with an
+  // empty dependency set is a sink (every use delivers) — the induction's
+  // base case.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> deps;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> dependents;
+
+  const std::size_t n = net.node_count();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d || !alg.routes(NodeId{s}, NodeId{d})) continue;
+      const auto path = routing::trace_path(alg, NodeId{s}, NodeId{d});
+      WORMSIM_EXPECTS_MSG(path.has_value(),
+                          "route does not terminate; cannot analyze");
+      for (std::size_t i = 0; i < path->size(); ++i) {
+        const auto c = (*path)[i].value();
+        deps.try_emplace(c);  // ensure the channel is registered
+        if (i + 1 < path->size()) {
+          const auto next = (*path)[i + 1].value();
+          if (deps[c].insert(next).second) dependents[next].push_back(c);
+        }
+      }
+    }
+  }
+
+  // Worklist least fixpoint: a channel becomes immune when all its
+  // dependencies are immune.
+  std::unordered_map<std::uint32_t, std::size_t> pending;
+  std::deque<std::uint32_t> frontier;
+  for (const auto& [c, dset] : deps) {
+    pending[c] = dset.size();
+    if (dset.empty()) frontier.push_back(c);
+  }
+  std::unordered_set<std::uint32_t> immune;
+  while (!frontier.empty()) {
+    const auto c = frontier.front();
+    frontier.pop_front();
+    if (!immune.insert(c).second) continue;
+    const auto it = dependents.find(c);
+    if (it == dependents.end()) continue;
+    for (const auto user : it->second) {
+      if (--pending[user] == 0) frontier.push_back(user);
+    }
+  }
+
+  MessageFlowResult result;
+  result.used_channels = deps.size();
+  for (const auto& [c, dset] : deps)
+    if (!immune.contains(c)) result.non_immune.push_back(ChannelId{c});
+  std::sort(result.non_immune.begin(), result.non_immune.end());
+  result.proves_deadlock_free = result.non_immune.empty();
+  return result;
+}
+
+}  // namespace wormsim::analysis

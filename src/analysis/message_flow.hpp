@@ -1,0 +1,43 @@
+// The Lin–McKinley–Ni message-flow model (Section 2 of the paper).
+//
+// A channel is *deadlock-immune* when every message that uses it is
+// guaranteed to reach its destination — then it can never be held forever.
+// The backward induction starts from channels whose every use is a final
+// hop (delivery into the destination) and marks a channel immune once every
+// continuation channel of every usage is immune: a message waiting in c for
+// R(c, d) eventually acquires it under starvation-free arbitration because
+// an immune channel is always eventually released, whoever holds it. The
+// routing algorithm is proved deadlock-free when every channel it uses is
+// immune.
+//
+// The paper's critique, which this module makes mechanical: the technique
+// was proposed as necessary AND sufficient, but for an algorithm whose CDG
+// cycle is an unreachable configuration (Figure 1) the ring channels each
+// depend on the next ring channel, so the induction has "no starting point"
+// inside the ring and the analysis is inconclusive even though the
+// algorithm is deadlock-free — the exhaustive reachability search decides
+// it, the message-flow model cannot.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace wormsim::analysis {
+
+struct MessageFlowResult {
+  /// True when every exercised channel is deadlock-immune: the algorithm is
+  /// *proved* deadlock-free by the message-flow model. False means
+  /// INCONCLUSIVE (the model is sufficient-only).
+  bool proves_deadlock_free = false;
+  /// Exercised channels the backward induction could not mark immune.
+  std::vector<ChannelId> non_immune;
+  /// Channels exercised by at least one route.
+  std::size_t used_channels = 0;
+};
+
+/// Runs the backward-induction immunity analysis over every routed pair of
+/// `alg`.
+MessageFlowResult message_flow_analysis(const routing::RoutingAlgorithm& alg);
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,292 @@
+#include "cdg/cdg.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace wormsim::cdg {
+
+ChannelDependencyGraph::ChannelDependencyGraph(const topo::Network& net)
+    : net_(&net), adjacency_(net.channel_count()) {}
+
+void ChannelDependencyGraph::add_edge(ChannelId from, ChannelId to, Witness w) {
+  auto& witness_list = edge_witnesses_[edge_key(from, to)];
+  if (witness_list.empty()) {
+    adjacency_[from.index()].push_back(to);
+    ++edge_count_;
+  }
+  if (std::find(witness_list.begin(), witness_list.end(), w) ==
+      witness_list.end())
+    witness_list.push_back(w);
+}
+
+void ChannelDependencyGraph::finalize() {
+  for (auto& succ : adjacency_) std::sort(succ.begin(), succ.end());
+}
+
+ChannelDependencyGraph ChannelDependencyGraph::build(
+    const routing::RoutingAlgorithm& alg) {
+  std::vector<Witness> pairs;
+  const std::size_t n = alg.net().node_count();
+  pairs.reserve(n * (n - 1));
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t d = 0; d < n; ++d)
+      if (s != d && alg.routes(NodeId{s}, NodeId{d}))
+        pairs.push_back(Witness{NodeId{s}, NodeId{d}});
+  return build(alg, pairs);
+}
+
+ChannelDependencyGraph ChannelDependencyGraph::build(
+    const routing::AdaptiveRouting& alg) {
+  ChannelDependencyGraph graph(alg.net());
+  const std::size_t n = alg.net().node_count();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d || !alg.routes(NodeId{s}, NodeId{d})) continue;
+      const Witness w{NodeId{s}, NodeId{d}};
+      // BFS over the candidate relation from the initial channels.
+      std::unordered_set<std::uint32_t> seen;
+      std::vector<ChannelId> frontier = alg.initial_channels(w.src, w.dst);
+      for (const ChannelId c : frontier) seen.insert(c.value());
+      while (!frontier.empty()) {
+        std::vector<ChannelId> next_frontier;
+        for (const ChannelId c : frontier) {
+          if (alg.net().channel(c).dst == w.dst) continue;  // delivered
+          for (const ChannelId succ : alg.next_channels(c, w.dst)) {
+            graph.add_edge(c, succ, w);
+            if (seen.insert(succ.value()).second)
+              next_frontier.push_back(succ);
+          }
+        }
+        frontier = std::move(next_frontier);
+      }
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+ChannelDependencyGraph ChannelDependencyGraph::build(
+    const routing::RoutingAlgorithm& alg, std::span<const Witness> pairs) {
+  ChannelDependencyGraph graph(alg.net());
+  for (const Witness& w : pairs) {
+    const auto path = routing::trace_path(alg, w.src, w.dst);
+    WORMSIM_EXPECTS_MSG(path.has_value(),
+                        "route does not terminate; cannot build CDG");
+    for (std::size_t i = 0; i + 1 < path->size(); ++i)
+      graph.add_edge((*path)[i], (*path)[i + 1], w);
+  }
+  graph.finalize();
+  return graph;
+}
+
+std::span<const ChannelId> ChannelDependencyGraph::successors(
+    ChannelId c) const {
+  WORMSIM_EXPECTS(c.valid() && c.index() < adjacency_.size());
+  return adjacency_[c.index()];
+}
+
+bool ChannelDependencyGraph::has_edge(ChannelId from, ChannelId to) const {
+  return edge_witnesses_.contains(edge_key(from, to));
+}
+
+std::span<const Witness> ChannelDependencyGraph::witnesses(
+    ChannelId from, ChannelId to) const {
+  const auto it = edge_witnesses_.find(edge_key(from, to));
+  if (it == edge_witnesses_.end()) return {};
+  return it->second;
+}
+
+bool ChannelDependencyGraph::acyclic() const {
+  return topological_numbering().has_value();
+}
+
+std::optional<std::vector<std::uint32_t>>
+ChannelDependencyGraph::topological_numbering() const {
+  // Kahn's algorithm; the discovered order doubles as the Dally–Seitz
+  // channel numbering (every dependency strictly increases).
+  const std::size_t n = adjacency_.size();
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (const auto& succ : adjacency_)
+    for (const ChannelId c : succ) ++indegree[c.index()];
+
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indegree[i] == 0) ready.push_back(i);
+
+  std::vector<std::uint32_t> numbering(n, 0);
+  std::uint32_t next_number = 0;
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const std::size_t v = ready.back();
+    ready.pop_back();
+    numbering[v] = next_number++;
+    ++processed;
+    for (const ChannelId c : adjacency_[v])
+      if (--indegree[c.index()] == 0) ready.push_back(c.index());
+  }
+  if (processed != n) return std::nullopt;  // a cycle remains
+  return numbering;
+}
+
+bool ChannelDependencyGraph::verify_numbering(
+    std::span<const std::uint32_t> numbering) const {
+  if (numbering.size() != adjacency_.size()) return false;
+  for (std::size_t v = 0; v < adjacency_.size(); ++v)
+    for (const ChannelId c : adjacency_[v])
+      if (numbering[v] >= numbering[c.index()]) return false;
+  return true;
+}
+
+std::vector<std::vector<ChannelId>> ChannelDependencyGraph::cyclic_sccs()
+    const {
+  // Iterative Tarjan.
+  const std::size_t n = adjacency_.size();
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<ChannelId>> result;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t child = 0;
+  };
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < adjacency_[f.v].size()) {
+        const std::size_t w = adjacency_[f.v][f.child++].index();
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          frames.push_back(Frame{w});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          std::vector<ChannelId> scc;
+          std::size_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            scc.push_back(ChannelId{w});
+          } while (w != f.v);
+          const bool self_loop =
+              scc.size() == 1 && has_edge(scc[0], scc[0]);
+          if (scc.size() >= 2 || self_loop) {
+            std::sort(scc.begin(), scc.end());
+            result.push_back(std::move(scc));
+          }
+        }
+        const std::size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty())
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<ChannelId>> ChannelDependencyGraph::elementary_cycles(
+    std::size_t max_cycles) const {
+  // Johnson's algorithm restricted to each cyclic SCC.
+  std::vector<std::vector<ChannelId>> cycles;
+
+  for (const auto& scc : cyclic_sccs()) {
+    std::unordered_set<std::uint32_t> in_scc;
+    for (const ChannelId c : scc) in_scc.insert(c.value());
+
+    // Johnson processes vertices in increasing order, removing each start
+    // vertex after exploring all cycles through it.
+    std::unordered_set<std::uint32_t> removed;
+    for (const ChannelId start : scc) {
+      if (cycles.size() >= max_cycles) return cycles;
+
+      std::unordered_set<std::uint32_t> blocked;
+      std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> block_map;
+      std::vector<ChannelId> path;
+
+      // Recursive circuit search, implemented with an explicit lambda
+      // (depth bounded by SCC size, which is small for our networks).
+      auto unblock = [&](auto&& self, std::uint32_t v) -> void {
+        blocked.erase(v);
+        auto it = block_map.find(v);
+        if (it == block_map.end()) return;
+        const auto deps = std::move(it->second);
+        block_map.erase(it);
+        for (const std::uint32_t w : deps)
+          if (blocked.contains(w)) self(self, w);
+      };
+
+      auto circuit = [&](auto&& self, ChannelId v) -> bool {
+        bool found = false;
+        path.push_back(v);
+        blocked.insert(v.value());
+        for (const ChannelId w : adjacency_[v.index()]) {
+          if (!in_scc.contains(w.value()) || removed.contains(w.value()))
+            continue;
+          if (w == start) {
+            cycles.push_back(path);
+            found = true;
+            if (cycles.size() >= max_cycles) break;
+          } else if (!blocked.contains(w.value())) {
+            if (self(self, w)) found = true;
+            if (cycles.size() >= max_cycles) break;
+          }
+        }
+        if (found) {
+          unblock(unblock, v.value());
+        } else {
+          for (const ChannelId w : adjacency_[v.index()]) {
+            if (!in_scc.contains(w.value()) || removed.contains(w.value()))
+              continue;
+            block_map[w.value()].push_back(v.value());
+          }
+        }
+        path.pop_back();
+        return found;
+      };
+
+      circuit(circuit, start);
+      removed.insert(start.value());
+    }
+  }
+  return cycles;
+}
+
+std::string ChannelDependencyGraph::to_dot(std::string_view name) const {
+  std::unordered_set<std::uint32_t> cyclic;
+  for (const auto& scc : cyclic_sccs())
+    for (const ChannelId c : scc) cyclic.insert(c.value());
+
+  std::ostringstream os;
+  os << "digraph \"" << name << "\" {\n";
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    os << "  c" << i << " [label=\"" << net_->channel(ChannelId{i}).name
+       << "\"";
+    if (cyclic.contains(static_cast<std::uint32_t>(i)))
+      os << ", color=red, penwidth=2";
+    os << "];\n";
+  }
+  for (std::size_t i = 0; i < adjacency_.size(); ++i)
+    for (const ChannelId c : adjacency_[i])
+      os << "  c" << i << " -> c" << c.value() << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace wormsim::cdg

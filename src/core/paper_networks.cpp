@@ -1,0 +1,102 @@
+#include "core/paper_networks.hpp"
+
+namespace wormsim::core {
+
+CyclicFamilySpec fig3_spec(Fig3Variant variant, bool hub_completion) {
+  // The three sharing messages have access lengths 4 > 3 > 2 (condition 3)
+  // and sit around the ring in the order A, C, B (condition 1). Variants
+  // (c) and (e) interpose a non-sharing ring message — the device the
+  // paper's own proof uses ("if the preceding message in the cycle does not
+  // use c_s, then that message can block M_i indefinitely by creating a
+  // long enough message") — so that exactly the captioned condition is
+  // violated. Every verdict below is verified against the exhaustive
+  // reachability probe in tests/core/fig3_test.cpp.
+  CyclicFamilySpec spec;
+  spec.hub_completion = hub_completion;
+  spec.name = std::string("fig3-") + fig3_name(variant);
+  switch (variant) {
+    case Fig3Variant::kA:
+      // All eight conditions hold: every sharing message holds more ring
+      // channels than its access path. Unreachable.
+      spec.messages = {{4, 5, true}, {2, 5, true}, {3, 5, true}};
+      break;
+    case Fig3Variant::kB:
+      // B's segment is NOT longer than its access path (first disjunct of
+      // condition 6 fails), but C immediately precedes B and is too short
+      // (a_C + h_C < a_B + h_B) to hold B's entry long enough for the
+      // deadlock to assemble — the rescue disjunct. Still unreachable.
+      spec.messages = {{4, 5, true}, {2, 3, true}, {3, 3, true}};
+      break;
+    case Fig3Variant::kC:
+      // Condition 4 violated (and only it): A holds fewer ring channels
+      // than its access path, so A's worm can wait on its arm with c_s
+      // free; the non-sharing predecessor Y blocks A at its ring entry
+      // indefinitely while C and B assemble. Deadlock.
+      spec.messages = {{4, 3, true}, {2, 5, true}, {3, 5, true},
+                       {1, 2, false}};
+      break;
+    case Fig3Variant::kD:
+      // Condition 6 violated (and only it): B's segment is far too short
+      // and C is long enough that the rescue fails. Deadlock.
+      spec.messages = {{4, 5, true}, {2, 5, true}, {3, 2, true}};
+      break;
+    case Fig3Variant::kE:
+      // Condition 7 violated (and only it): the non-sharing message X
+      // interposed between A and C stretches the ring distance A covers, so
+      // a_A + between(A, C) >= h_C + a_C. Deadlock.
+      spec.messages = {{4, 5, true}, {1, 3, false}, {2, 5, true},
+                       {3, 4, true}};
+      break;
+    case Fig3Variant::kF:
+      // Condition 8 violated (and only it): a fourth message (own source,
+      // not using c_s) interposed between C and B lengthens the ring
+      // distance between them. Deadlock.
+      spec.messages = {
+          {4, 5, true}, {2, 5, true}, {2, 2, false}, {3, 5, true}};
+      break;
+  }
+  return spec;
+}
+
+bool fig3_expected_unreachable(Fig3Variant variant) {
+  switch (variant) {
+    case Fig3Variant::kA:
+    case Fig3Variant::kB:
+      return true;
+    case Fig3Variant::kC:
+    case Fig3Variant::kD:
+    case Fig3Variant::kE:
+    case Fig3Variant::kF:
+      return false;
+  }
+  WORMSIM_UNREACHABLE("bad Fig3Variant");
+}
+
+/// The single Theorem-5 condition (1-based) each deadlocking variant
+/// violates; 0 for the unreachable variants (all conditions hold).
+int fig3_violated_condition(Fig3Variant variant) {
+  switch (variant) {
+    case Fig3Variant::kA:
+    case Fig3Variant::kB:
+      return 0;
+    case Fig3Variant::kC: return 4;
+    case Fig3Variant::kD: return 6;
+    case Fig3Variant::kE: return 7;
+    case Fig3Variant::kF: return 8;
+  }
+  WORMSIM_UNREACHABLE("bad Fig3Variant");
+}
+
+const char* fig3_name(Fig3Variant variant) {
+  switch (variant) {
+    case Fig3Variant::kA: return "a";
+    case Fig3Variant::kB: return "b";
+    case Fig3Variant::kC: return "c";
+    case Fig3Variant::kD: return "d";
+    case Fig3Variant::kE: return "e";
+    case Fig3Variant::kF: return "f";
+  }
+  WORMSIM_UNREACHABLE("bad Fig3Variant");
+}
+
+}  // namespace wormsim::core

@@ -1,0 +1,52 @@
+// Concrete instances of the paper's figures.
+//
+// Figure 1 and Figure 2 are produced by fig1_spec()/fig2_spec() in
+// cyclic_family.hpp; this header adds the six Figure-3 networks, which study
+// a ring whose shared channel is used by exactly three messages — the case
+// Theorem 5 characterizes with eight structural conditions.
+//
+// Following the paper's Section-5 labeling, the three sharing messages are
+// ordered by access length: A uses the most channels from c_s to the ring,
+// C the fewest, B the middle. The paper's figures place them around the
+// ring in the order A, C, B (condition 1: A is followed by C with B not in
+// between). The scanned figure geometry is unreadable, so the parameters
+// below were chosen to satisfy / violate exactly the conditions the paper's
+// prose attributes to each subfigure, and each instance's verdict is
+// *verified mechanically* by the reachability search (tests/core/
+// fig3_test.cpp): (a) and (b) are false resource cycles, (c)–(f) deadlock.
+#pragma once
+
+#include "core/cyclic_family.hpp"
+
+namespace wormsim::core {
+
+enum class Fig3Variant {
+  kA,  ///< false resource cycle: every message holds more ring channels
+       ///< than its access path (all eight conditions hold)
+  kB,  ///< false resource cycle: B's segment not longer than its access,
+       ///< but condition 6's rescue disjunct holds (C too short to matter)
+  kC,  ///< deadlock: condition 4 violated (A's segment shorter than access;
+       ///< a non-sharing ring predecessor blocks A indefinitely)
+  kD,  ///< deadlock: condition 6 violated (B's segment too short, no rescue)
+  kE,  ///< deadlock: condition 7 violated (a non-sharing message interposed
+       ///< between A and C stretches A's covered distance)
+  kF,  ///< deadlock: condition 8 violated (a non-sharing fourth message
+       ///< interposed between C and B)
+};
+
+/// Spec for the given Figure-3 subnetwork (three messages sharing c_s, in
+/// ring order A, C, B; variants kC/kE/kF include a non-sharing ring
+/// message).
+CyclicFamilySpec fig3_spec(Fig3Variant variant, bool hub_completion = false);
+
+/// The verdict the paper assigns to each subfigure: true = the ring cycle is
+/// an unreachable configuration (false resource cycle).
+bool fig3_expected_unreachable(Fig3Variant variant);
+
+/// The single Theorem-5 condition (1..8) the variant violates, or 0 when
+/// all hold (the unreachable variants).
+int fig3_violated_condition(Fig3Variant variant);
+
+const char* fig3_name(Fig3Variant variant);
+
+}  // namespace wormsim::core

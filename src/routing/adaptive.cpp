@@ -1,0 +1,155 @@
+#include "routing/adaptive.hpp"
+
+namespace wormsim::routing {
+
+namespace {
+
+bool valid_pair(const topo::Network& net, NodeId src, NodeId dst) {
+  return src != dst && src.index() < net.node_count() &&
+         dst.index() < net.node_count();
+}
+
+/// All lane-`lane` channels out of `at` that reduce the grid distance to
+/// `dst` (mesh metric).
+void push_minimal(const topo::Grid& grid, NodeId at, NodeId dst,
+                  std::uint16_t lane, std::vector<ChannelId>& out) {
+  for (std::size_t dim = 0; dim < grid.spec().dimensions(); ++dim) {
+    const int ca = grid.coord(at, dim);
+    const int cb = grid.coord(dst, dim);
+    if (ca == cb) continue;
+    const ChannelId c = grid.link(at, dim, cb > ca ? +1 : -1, lane);
+    WORMSIM_ASSERT(c.valid());
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MinimalAdaptiveMesh
+// ---------------------------------------------------------------------------
+
+MinimalAdaptiveMesh::MinimalAdaptiveMesh(const topo::Grid& grid)
+    : AdaptiveRouting(grid.net()), grid_(&grid) {
+  WORMSIM_EXPECTS_MSG(!grid.spec().wraparound,
+                      "MinimalAdaptiveMesh requires a mesh");
+}
+
+bool MinimalAdaptiveMesh::routes(NodeId src, NodeId dst) const {
+  return valid_pair(net(), src, dst);
+}
+
+std::vector<ChannelId> MinimalAdaptiveMesh::candidates(NodeId at,
+                                                       NodeId dst) const {
+  std::vector<ChannelId> out;
+  push_minimal(*grid_, at, dst, 0, out);
+  WORMSIM_ASSERT(!out.empty());
+  return out;
+}
+
+std::vector<ChannelId> MinimalAdaptiveMesh::initial_channels(
+    NodeId src, NodeId dst) const {
+  WORMSIM_EXPECTS(routes(src, dst));
+  return candidates(src, dst);
+}
+
+std::vector<ChannelId> MinimalAdaptiveMesh::next_channels(ChannelId in,
+                                                          NodeId dst) const {
+  const NodeId at = net().channel(in).dst;
+  WORMSIM_EXPECTS(at != dst);
+  return candidates(at, dst);
+}
+
+// ---------------------------------------------------------------------------
+// DuatoFullyAdaptiveMesh
+// ---------------------------------------------------------------------------
+
+DuatoFullyAdaptiveMesh::DuatoFullyAdaptiveMesh(const topo::Grid& grid)
+    : AdaptiveRouting(grid.net()), grid_(&grid) {
+  WORMSIM_EXPECTS_MSG(!grid.spec().wraparound,
+                      "DuatoFullyAdaptiveMesh requires a mesh");
+  WORMSIM_EXPECTS_MSG(grid.spec().lanes >= 2,
+                      "Duato routing needs an adaptive lane plus an escape "
+                      "lane");
+}
+
+bool DuatoFullyAdaptiveMesh::routes(NodeId src, NodeId dst) const {
+  return valid_pair(net(), src, dst);
+}
+
+std::vector<ChannelId> DuatoFullyAdaptiveMesh::candidates(NodeId at,
+                                                          NodeId dst) const {
+  // Adaptive lane-1 channels in every minimal direction, plus the lane-0
+  // dimension-order escape channel (lowest differing dimension).
+  std::vector<ChannelId> out;
+  push_minimal(*grid_, at, dst, 1, out);
+  for (std::size_t dim = 0; dim < grid_->spec().dimensions(); ++dim) {
+    const int ca = grid_->coord(at, dim);
+    const int cb = grid_->coord(dst, dim);
+    if (ca == cb) continue;
+    const ChannelId escape = grid_->link(at, dim, cb > ca ? +1 : -1, 0);
+    WORMSIM_ASSERT(escape.valid());
+    out.push_back(escape);
+    break;  // only the e-cube dimension provides escape
+  }
+  WORMSIM_ASSERT(!out.empty());
+  return out;
+}
+
+std::vector<ChannelId> DuatoFullyAdaptiveMesh::initial_channels(
+    NodeId src, NodeId dst) const {
+  WORMSIM_EXPECTS(routes(src, dst));
+  return candidates(src, dst);
+}
+
+std::vector<ChannelId> DuatoFullyAdaptiveMesh::next_channels(
+    ChannelId in, NodeId dst) const {
+  const NodeId at = net().channel(in).dst;
+  WORMSIM_EXPECTS(at != dst);
+  return candidates(at, dst);
+}
+
+// ---------------------------------------------------------------------------
+// WestFirstAdaptiveMesh
+// ---------------------------------------------------------------------------
+
+WestFirstAdaptiveMesh::WestFirstAdaptiveMesh(const topo::Grid& grid)
+    : AdaptiveRouting(grid.net()), grid_(&grid) {
+  WORMSIM_EXPECTS_MSG(!grid.spec().wraparound &&
+                          grid.spec().dimensions() == 2,
+                      "west-first adaptive is defined on a 2-D mesh");
+}
+
+bool WestFirstAdaptiveMesh::routes(NodeId src, NodeId dst) const {
+  return valid_pair(net(), src, dst);
+}
+
+std::vector<ChannelId> WestFirstAdaptiveMesh::candidates(NodeId at,
+                                                         NodeId dst) const {
+  const int dx = grid_->coord(dst, 0) - grid_->coord(at, 0);
+  std::vector<ChannelId> out;
+  if (dx < 0) {
+    // All west hops first; no adaptivity while west remains.
+    out.push_back(grid_->link(at, 0, -1, 0));
+  } else {
+    // Fully adaptive among the remaining minimal directions (E/N/S).
+    push_minimal(*grid_, at, dst, 0, out);
+  }
+  WORMSIM_ASSERT(!out.empty());
+  return out;
+}
+
+std::vector<ChannelId> WestFirstAdaptiveMesh::initial_channels(
+    NodeId src, NodeId dst) const {
+  WORMSIM_EXPECTS(routes(src, dst));
+  return candidates(src, dst);
+}
+
+std::vector<ChannelId> WestFirstAdaptiveMesh::next_channels(
+    ChannelId in, NodeId dst) const {
+  const NodeId at = net().channel(in).dst;
+  WORMSIM_EXPECTS(at != dst);
+  return candidates(at, dst);
+}
+
+}  // namespace wormsim::routing

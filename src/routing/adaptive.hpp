@@ -1,0 +1,147 @@
+// Adaptive routing support — the paper's Section-7 outlook made concrete.
+//
+// Adaptive algorithms are functions R : C x N -> P(C): the router may offer
+// several output channels and the arbiter/network state picks one. The
+// paper's context (Section 2) is Duato's theorem that an acyclic CDG is NOT
+// necessary for deadlock-free *adaptive* routing: cycles among adaptive
+// channels are harmless when an acyclic "escape" subnetwork is always
+// reachable. With wormsim's exhaustive reachability search this classical
+// result is checkable mechanically on concrete instances, alongside the
+// paper's oblivious counterpart.
+//
+// Implementations here:
+//  - ObliviousAsAdaptive      adapter: any oblivious algorithm, |R| = 1
+//  - MinimalAdaptiveMesh      all minimal directions, one lane: the
+//                             deadlockABLE negative control
+//  - DuatoFullyAdaptiveMesh   lane 1 fully adaptive + lane 0 dimension-order
+//                             escape: cyclic CDG, yet deadlock-free
+//  - WestFirstAdaptiveMesh    Glass–Ni adaptive turn model: adaptivity
+//                             without cycles (turn-restricted)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "topo/builders.hpp"
+
+namespace wormsim::routing {
+
+/// Adaptive routing relation over a fixed network. Candidate lists are
+/// non-empty for every legal query and their order is meaningless.
+class AdaptiveRouting {
+ public:
+  explicit AdaptiveRouting(const topo::Network& net) : net_(&net) {}
+  virtual ~AdaptiveRouting() = default;
+  AdaptiveRouting(const AdaptiveRouting&) = delete;
+  AdaptiveRouting& operator=(const AdaptiveRouting&) = delete;
+
+  [[nodiscard]] const topo::Network& net() const { return *net_; }
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual bool routes(NodeId src, NodeId dst) const = 0;
+
+  /// Channels a header may inject into at `src` destined for `dst`.
+  [[nodiscard]] virtual std::vector<ChannelId> initial_channels(
+      NodeId src, NodeId dst) const = 0;
+
+  /// R(in, dst): all permitted continuations. Precondition:
+  /// head(in) != dst.
+  [[nodiscard]] virtual std::vector<ChannelId> next_channels(
+      ChannelId in, NodeId dst) const = 0;
+
+ private:
+  const topo::Network* net_;
+};
+
+/// Wraps an oblivious algorithm as a single-candidate adaptive one, so the
+/// simulator has one code path.
+class ObliviousAsAdaptive final : public AdaptiveRouting {
+ public:
+  explicit ObliviousAsAdaptive(const RoutingAlgorithm& alg)
+      : AdaptiveRouting(alg.net()), alg_(&alg) {}
+
+  [[nodiscard]] std::string name() const override { return alg_->name(); }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override {
+    return alg_->routes(src, dst);
+  }
+  [[nodiscard]] std::vector<ChannelId> initial_channels(
+      NodeId src, NodeId dst) const override {
+    return {alg_->initial_channel(src, dst)};
+  }
+  [[nodiscard]] std::vector<ChannelId> next_channels(
+      ChannelId in, NodeId dst) const override {
+    return {alg_->next_channel(in, dst)};
+  }
+
+ private:
+  const RoutingAlgorithm* alg_;
+};
+
+/// Fully adaptive minimal routing on a single-lane mesh: every minimal
+/// direction is permitted. Its CDG is cyclic (all four turn cycles exist)
+/// and the cycles are reachable — the negative control.
+class MinimalAdaptiveMesh final : public AdaptiveRouting {
+ public:
+  explicit MinimalAdaptiveMesh(const topo::Grid& grid);
+
+  [[nodiscard]] std::string name() const override { return "min-adaptive"; }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] std::vector<ChannelId> initial_channels(
+      NodeId src, NodeId dst) const override;
+  [[nodiscard]] std::vector<ChannelId> next_channels(
+      ChannelId in, NodeId dst) const override;
+
+ private:
+  [[nodiscard]] std::vector<ChannelId> candidates(NodeId at,
+                                                  NodeId dst) const;
+  const topo::Grid* grid_;
+};
+
+/// Duato-style fully adaptive routing on a two-lane mesh: lane 1 offers
+/// every minimal direction (cyclic dependencies), lane 0 is the
+/// dimension-order escape path (acyclic). Every blocked header can always
+/// fall back to its escape channel, so the algorithm is deadlock-free even
+/// though the full CDG has cycles — Duato's sufficiency condition, decided
+/// here by exhaustive search rather than by theorem.
+class DuatoFullyAdaptiveMesh final : public AdaptiveRouting {
+ public:
+  explicit DuatoFullyAdaptiveMesh(const topo::Grid& grid);
+
+  [[nodiscard]] std::string name() const override { return "duato-mesh"; }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] std::vector<ChannelId> initial_channels(
+      NodeId src, NodeId dst) const override;
+  [[nodiscard]] std::vector<ChannelId> next_channels(
+      ChannelId in, NodeId dst) const override;
+
+ private:
+  [[nodiscard]] std::vector<ChannelId> candidates(NodeId at,
+                                                  NodeId dst) const;
+  const topo::Grid* grid_;
+};
+
+/// Adaptive west-first turn model (Glass & Ni): all west hops first (no
+/// choice), afterwards full adaptivity among {east, north, south} minimal
+/// directions. Deadlock-free with a single lane because the prohibited
+/// turns break every cycle.
+class WestFirstAdaptiveMesh final : public AdaptiveRouting {
+ public:
+  explicit WestFirstAdaptiveMesh(const topo::Grid& grid);
+
+  [[nodiscard]] std::string name() const override {
+    return "west-first-adaptive";
+  }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] std::vector<ChannelId> initial_channels(
+      NodeId src, NodeId dst) const override;
+  [[nodiscard]] std::vector<ChannelId> next_channels(
+      ChannelId in, NodeId dst) const override;
+
+ private:
+  [[nodiscard]] std::vector<ChannelId> candidates(NodeId at,
+                                                  NodeId dst) const;
+  const topo::Grid* grid_;
+};
+
+}  // namespace wormsim::routing

@@ -1,0 +1,177 @@
+#include "routing/dor.hpp"
+
+#include <cstdlib>
+
+namespace wormsim::routing {
+
+namespace {
+
+/// Minimal step direction for one torus dimension: shortest way around the
+/// ring, ties broken toward +1.
+int torus_direction(int from, int to, int radix) {
+  if (from == to) return 0;
+  const int fwd = (to - from + radix) % radix;   // hops going +1
+  const int bwd = (from - to + radix) % radix;   // hops going -1
+  return fwd <= bwd ? +1 : -1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DimensionOrderMesh
+// ---------------------------------------------------------------------------
+
+DimensionOrderMesh::DimensionOrderMesh(const topo::Grid& grid)
+    : RoutingAlgorithm(grid.net()), grid_(&grid) {
+  WORMSIM_EXPECTS_MSG(!grid.spec().wraparound,
+                      "DimensionOrderMesh requires a mesh (no wraparound)");
+}
+
+bool DimensionOrderMesh::routes(NodeId src, NodeId dst) const {
+  return src != dst && src.index() < net().node_count() &&
+         dst.index() < net().node_count();
+}
+
+ChannelId DimensionOrderMesh::hop(NodeId at, NodeId dst) const {
+  for (std::size_t d = 0; d < grid_->spec().dimensions(); ++d) {
+    const int ca = grid_->coord(at, d);
+    const int cb = grid_->coord(dst, d);
+    if (ca == cb) continue;
+    const int dir = cb > ca ? +1 : -1;
+    const ChannelId c = grid_->link(at, d, dir, 0);
+    WORMSIM_ASSERT(c.valid());
+    return c;
+  }
+  WORMSIM_UNREACHABLE("hop() called with at == dst");
+}
+
+ChannelId DimensionOrderMesh::initial_channel(NodeId src, NodeId dst) const {
+  WORMSIM_EXPECTS(routes(src, dst));
+  return hop(src, dst);
+}
+
+ChannelId DimensionOrderMesh::next_channel(ChannelId in, NodeId dst) const {
+  const NodeId at = net().channel(in).dst;
+  WORMSIM_EXPECTS(at != dst);
+  return hop(at, dst);
+}
+
+// ---------------------------------------------------------------------------
+// TorusDateline
+// ---------------------------------------------------------------------------
+
+TorusDateline::TorusDateline(const topo::Grid& grid)
+    : RoutingAlgorithm(grid.net()), grid_(&grid) {
+  WORMSIM_EXPECTS_MSG(grid.spec().wraparound,
+                      "TorusDateline requires a torus");
+  WORMSIM_EXPECTS_MSG(grid.spec().lanes >= 2,
+                      "dateline routing needs >= 2 virtual channels per link");
+}
+
+bool TorusDateline::routes(NodeId src, NodeId dst) const {
+  return src != dst && src.index() < net().node_count() &&
+         dst.index() < net().node_count();
+}
+
+ChannelId TorusDateline::hop(NodeId at, NodeId dst) const {
+  for (std::size_t d = 0; d < grid_->spec().dimensions(); ++d) {
+    const int radix = grid_->spec().dims[d];
+    const int ca = grid_->coord(at, d);
+    const int cb = grid_->coord(dst, d);
+    if (ca == cb) continue;
+    const int dir = torus_direction(ca, cb, radix);
+    // Will the remaining path in this dimension still traverse the dateline
+    // link? Going +1 the dateline is the (radix-1 -> 0) link; going -1 it is
+    // the (0 -> radix-1) link. A wrap lies ahead iff moving `dir` from ca we
+    // pass through it before reaching cb.
+    const bool wraps_ahead = dir > 0 ? ca > cb : ca < cb;
+    const std::uint16_t lane = wraps_ahead ? 1 : 0;
+    const ChannelId c = grid_->link(at, d, dir, lane);
+    WORMSIM_ASSERT(c.valid());
+    return c;
+  }
+  WORMSIM_UNREACHABLE("hop() called with at == dst");
+}
+
+ChannelId TorusDateline::initial_channel(NodeId src, NodeId dst) const {
+  WORMSIM_EXPECTS(routes(src, dst));
+  return hop(src, dst);
+}
+
+ChannelId TorusDateline::next_channel(ChannelId in, NodeId dst) const {
+  const NodeId at = net().channel(in).dst;
+  WORMSIM_EXPECTS(at != dst);
+  return hop(at, dst);
+}
+
+// ---------------------------------------------------------------------------
+// TurnModelMesh
+// ---------------------------------------------------------------------------
+
+TurnModelMesh::TurnModelMesh(const topo::Grid& grid, TurnModel2D model)
+    : RoutingAlgorithm(grid.net()), grid_(&grid), model_(model) {
+  WORMSIM_EXPECTS_MSG(!grid.spec().wraparound && grid.spec().dimensions() == 2,
+                      "turn-model routing is defined on a 2-D mesh");
+}
+
+std::string TurnModelMesh::name() const {
+  switch (model_) {
+    case TurnModel2D::kWestFirst: return "turn-west-first";
+    case TurnModel2D::kNorthLast: return "turn-north-last";
+    case TurnModel2D::kNegativeFirst: return "turn-negative-first";
+  }
+  WORMSIM_UNREACHABLE("bad TurnModel2D");
+}
+
+bool TurnModelMesh::routes(NodeId src, NodeId dst) const {
+  return src != dst && src.index() < net().node_count() &&
+         dst.index() < net().node_count();
+}
+
+ChannelId TurnModelMesh::hop(NodeId at, NodeId dst) const {
+  // Coordinate convention: dim 0 = X (east is +), dim 1 = Y (north is +).
+  const int dx = grid_->coord(dst, 0) - grid_->coord(at, 0);
+  const int dy = grid_->coord(dst, 1) - grid_->coord(at, 1);
+  WORMSIM_ASSERT(dx != 0 || dy != 0);
+
+  std::size_t dim = 0;
+  int dir = 0;
+  switch (model_) {
+    case TurnModel2D::kWestFirst:
+      // All west hops first; afterwards Y before east so the only turns used
+      // are out of west (allowed) and Y->east (allowed).
+      if (dx < 0) { dim = 0; dir = -1; }
+      else if (dy != 0) { dim = 1; dir = dy > 0 ? +1 : -1; }
+      else { dim = 0; dir = +1; }
+      break;
+    case TurnModel2D::kNorthLast:
+      // North hops are taken only when nothing else remains.
+      if (dx != 0) { dim = 0; dir = dx > 0 ? +1 : -1; }
+      else if (dy < 0) { dim = 1; dir = -1; }
+      else { dim = 1; dir = +1; }
+      break;
+    case TurnModel2D::kNegativeFirst:
+      // All negative-direction hops (west, south) before any positive ones.
+      if (dx < 0) { dim = 0; dir = -1; }
+      else if (dy < 0) { dim = 1; dir = -1; }
+      else if (dx > 0) { dim = 0; dir = +1; }
+      else { dim = 1; dir = +1; }
+      break;
+  }
+  const ChannelId c = grid_->link(at, dim, dir, 0);
+  WORMSIM_ASSERT(c.valid());
+  return c;
+}
+
+ChannelId TurnModelMesh::initial_channel(NodeId src, NodeId dst) const {
+  WORMSIM_EXPECTS(routes(src, dst));
+  return hop(src, dst);
+}
+
+ChannelId TurnModelMesh::next_channel(ChannelId in, NodeId dst) const {
+  const NodeId at = net().channel(in).dst;
+  WORMSIM_EXPECTS(at != dst);
+  return hop(at, dst);
+}
+
+}  // namespace wormsim::routing

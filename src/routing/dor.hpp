@@ -1,0 +1,80 @@
+// Classic oblivious routing algorithms on grids.
+//
+// These are the acyclic-CDG contrast class for the paper's contribution:
+// dimension-order routing on meshes (e-cube), Dally–Seitz two-virtual-channel
+// dateline routing on tori, and deterministic instantiations of the Glass–Ni
+// turn-model algorithms on 2-D meshes. All are minimal and coherent, and all
+// depend only on (current node, destination) — i.e. they belong to the
+// R : N x N -> C class that Corollary 1 proves can have no unreachable cyclic
+// configurations.
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topo/builders.hpp"
+
+namespace wormsim::routing {
+
+/// Dimension-order (e-cube) routing on a mesh: correct coordinates in
+/// increasing dimension index, on lane 0. XY routing when 2-D.
+class DimensionOrderMesh final : public RoutingAlgorithm {
+ public:
+  explicit DimensionOrderMesh(const topo::Grid& grid);
+
+  [[nodiscard]] std::string name() const override { return "dor-mesh"; }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] ChannelId initial_channel(NodeId src,
+                                          NodeId dst) const override;
+  [[nodiscard]] ChannelId next_channel(ChannelId in, NodeId dst) const override;
+
+ private:
+  [[nodiscard]] ChannelId hop(NodeId at, NodeId dst) const;
+  const topo::Grid* grid_;
+};
+
+/// Dimension-order routing on a torus with the Dally–Seitz dateline scheme:
+/// two virtual channels per link; a message whose remaining path in the
+/// current dimension crosses the wraparound ("dateline") link travels on the
+/// high lane until the crossing and on the low lane afterwards; messages that
+/// do not wrap use the low lane throughout. The per-dimension CDG is acyclic
+/// because lane-1 dependencies end at the dateline and lane-0 dependencies
+/// never traverse it in a cycle-closing direction.
+class TorusDateline final : public RoutingAlgorithm {
+ public:
+  explicit TorusDateline(const topo::Grid& grid);
+
+  [[nodiscard]] std::string name() const override { return "dor-torus-vc"; }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] ChannelId initial_channel(NodeId src,
+                                          NodeId dst) const override;
+  [[nodiscard]] ChannelId next_channel(ChannelId in, NodeId dst) const override;
+
+ private:
+  [[nodiscard]] ChannelId hop(NodeId at, NodeId dst) const;
+  const topo::Grid* grid_;
+};
+
+/// Deterministic turn-model algorithms on a 2-D mesh (Glass & Ni '92 turn
+/// sets, instantiated obliviously).
+enum class TurnModel2D {
+  kWestFirst,      ///< all west hops first, then Y hops, then east hops
+  kNorthLast,      ///< X hops, then south hops, then north hops last
+  kNegativeFirst,  ///< negative-direction hops (W, S) first, then positive
+};
+
+class TurnModelMesh final : public RoutingAlgorithm {
+ public:
+  TurnModelMesh(const topo::Grid& grid, TurnModel2D model);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] ChannelId initial_channel(NodeId src,
+                                          NodeId dst) const override;
+  [[nodiscard]] ChannelId next_channel(ChannelId in, NodeId dst) const override;
+
+ private:
+  [[nodiscard]] ChannelId hop(NodeId at, NodeId dst) const;
+  const topo::Grid* grid_;
+  TurnModel2D model_;
+};
+
+}  // namespace wormsim::routing

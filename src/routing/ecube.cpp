@@ -1,0 +1,49 @@
+#include "routing/ecube.hpp"
+
+#include <bit>
+
+namespace wormsim::routing {
+
+ECubeHypercube::ECubeHypercube(const topo::Network& net)
+    : RoutingAlgorithm(net) {
+  const std::size_t n = net.node_count();
+  WORMSIM_EXPECTS_MSG(std::has_single_bit(n),
+                      "hypercube node count must be a power of two");
+  dimensions_ = std::countr_zero(n);
+  // Sanity: node 0 must have a neighbor along every dimension.
+  for (int d = 0; d < dimensions_; ++d) {
+    WORMSIM_EXPECTS_MSG(
+        net.find_channel(NodeId{std::size_t{0}},
+                         NodeId{std::size_t{1} << d})
+            .has_value(),
+        "network is not a binary hypercube");
+  }
+}
+
+bool ECubeHypercube::routes(NodeId src, NodeId dst) const {
+  return src != dst && src.index() < net().node_count() &&
+         dst.index() < net().node_count();
+}
+
+ChannelId ECubeHypercube::hop(NodeId at, NodeId dst) const {
+  const std::size_t diff = at.index() ^ dst.index();
+  WORMSIM_ASSERT(diff != 0);
+  const int bit = std::countr_zero(diff);
+  const NodeId next{at.index() ^ (std::size_t{1} << bit)};
+  const auto c = net().find_channel(at, next);
+  WORMSIM_ASSERT(c.has_value());
+  return *c;
+}
+
+ChannelId ECubeHypercube::initial_channel(NodeId src, NodeId dst) const {
+  WORMSIM_EXPECTS(routes(src, dst));
+  return hop(src, dst);
+}
+
+ChannelId ECubeHypercube::next_channel(ChannelId in, NodeId dst) const {
+  const NodeId at = net().channel(in).dst;
+  WORMSIM_EXPECTS(at != dst);
+  return hop(at, dst);
+}
+
+}  // namespace wormsim::routing

@@ -1,0 +1,30 @@
+// E-cube routing on binary hypercubes (Dally & Seitz '87, Sullivan &
+// Bashkow before them): correct the differing address bits in increasing
+// bit order. Minimal, coherent, input-channel independent — the classic
+// acyclic-CDG algorithm on the topology where CDG numbering was first
+// formulated.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace wormsim::routing {
+
+class ECubeHypercube final : public RoutingAlgorithm {
+ public:
+  /// `net` must be a make_hypercube(dimensions) network: node ids are the
+  /// binary addresses and every pair of adjacent nodes differs in exactly
+  /// one bit.
+  explicit ECubeHypercube(const topo::Network& net);
+
+  [[nodiscard]] std::string name() const override { return "ecube"; }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] ChannelId initial_channel(NodeId src,
+                                          NodeId dst) const override;
+  [[nodiscard]] ChannelId next_channel(ChannelId in, NodeId dst) const override;
+
+ private:
+  [[nodiscard]] ChannelId hop(NodeId at, NodeId dst) const;
+  int dimensions_;
+};
+
+}  // namespace wormsim::routing

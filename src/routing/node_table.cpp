@@ -1,0 +1,34 @@
+#include "routing/node_table.hpp"
+
+namespace wormsim::routing {
+
+void NodeTable::set(NodeId at, NodeId dst, ChannelId channel) {
+  WORMSIM_EXPECTS(at != dst);
+  WORMSIM_EXPECTS(channel.valid());
+  WORMSIM_EXPECTS_MSG(net().channel(channel).src == at,
+                      "channel does not leave the given node");
+  const auto [it, inserted] = table_.emplace(key(at, dst), channel);
+  WORMSIM_EXPECTS_MSG(inserted, "routing entry already defined");
+  (void)it;
+}
+
+bool NodeTable::routes(NodeId src, NodeId dst) const {
+  return table_.contains(key(src, dst));
+}
+
+ChannelId NodeTable::initial_channel(NodeId src, NodeId dst) const {
+  const auto it = table_.find(key(src, dst));
+  WORMSIM_EXPECTS_MSG(it != table_.end(), "no route for (src, dst)");
+  return it->second;
+}
+
+ChannelId NodeTable::next_channel(ChannelId in, NodeId dst) const {
+  const NodeId at = net().channel(in).dst;
+  WORMSIM_EXPECTS(at != dst);
+  const auto it = table_.find(key(at, dst));
+  WORMSIM_EXPECTS_MSG(it != table_.end(),
+                      "routing function undefined for (node, dst)");
+  return it->second;
+}
+
+}  // namespace wormsim::routing

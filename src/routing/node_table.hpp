@@ -1,0 +1,41 @@
+// Node-table routing: R : N x N -> C.
+//
+// The output channel depends only on the *current node* and the destination —
+// the input channel is ignored. Corollary 1 of the paper proves this entire
+// class has no unreachable cyclic configurations (every CDG cycle is
+// reachable and hence a genuine deadlock risk), and every such algorithm is
+// suffix-closed by construction (Definition 8). The random-algorithm
+// generators used by the corollary property tests produce instances of this
+// class.
+#pragma once
+
+#include <unordered_map>
+
+#include "routing/routing.hpp"
+
+namespace wormsim::routing {
+
+class NodeTable final : public RoutingAlgorithm {
+ public:
+  explicit NodeTable(const topo::Network& net, std::string name = "node-table")
+      : RoutingAlgorithm(net), name_(std::move(name)) {}
+
+  /// Defines the out-channel taken at `at` for messages destined to `dst`.
+  /// `channel` must leave `at`. Entries may not be redefined.
+  void set(NodeId at, NodeId dst, ChannelId channel);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] ChannelId initial_channel(NodeId src,
+                                          NodeId dst) const override;
+  [[nodiscard]] ChannelId next_channel(ChannelId in, NodeId dst) const override;
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b) {
+    return (std::uint64_t{a.value()} << 32) | b.value();
+  }
+  std::string name_;
+  std::unordered_map<std::uint64_t, ChannelId> table_;
+};
+
+}  // namespace wormsim::routing

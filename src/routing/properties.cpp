@@ -1,0 +1,163 @@
+#include "routing/properties.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wormsim::routing {
+
+namespace {
+
+using Path = std::vector<ChannelId>;
+
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  return (std::uint64_t{a.value()} << 32) | b.value();
+}
+
+/// Memoizing path oracle over the algorithm.
+class PathCache {
+ public:
+  explicit PathCache(const RoutingAlgorithm& alg) : alg_(&alg) {}
+
+  /// Path for (s, d), or nullptr when unrouted / non-terminating.
+  const Path* get(NodeId s, NodeId d) {
+    const auto k = pair_key(s, d);
+    if (const auto it = cache_.find(k); it != cache_.end())
+      return it->second ? &*it->second : nullptr;
+    std::optional<Path> p;
+    if (alg_->routes(s, d)) p = trace_path(*alg_, s, d);
+    const auto [it, _] = cache_.emplace(k, std::move(p));
+    return it->second ? &*it->second : nullptr;
+  }
+
+ private:
+  const RoutingAlgorithm* alg_;
+  std::unordered_map<std::uint64_t, std::optional<Path>> cache_;
+};
+
+std::string describe_pair(const topo::Network& net, NodeId s, NodeId d,
+                          const char* what) {
+  std::ostringstream os;
+  os << what << " for " << net.node_name(s) << " -> " << net.node_name(d);
+  return os.str();
+}
+
+}  // namespace
+
+PropertyReport analyze_properties(const RoutingAlgorithm& alg,
+                                  bool require_total) {
+  const topo::Network& net = alg.net();
+  PropertyReport report;
+  PathCache cache(alg);
+
+  auto note = [&report](std::string msg) {
+    if (report.first_violation.empty()) report.first_violation = std::move(msg);
+  };
+
+  const std::size_t n = net.node_count();
+  for (std::size_t si = 0; si < n; ++si) {
+    for (std::size_t di = 0; di < n; ++di) {
+      if (si == di) continue;
+      const NodeId s{si}, d{di};
+      if (!alg.routes(s, d)) {
+        if (require_total) {
+          report.total = false;
+          note(describe_pair(net, s, d, "no route"));
+        }
+        continue;
+      }
+      const Path* path = cache.get(s, d);
+      if (path == nullptr) {
+        report.all_paths_terminate = false;
+        note(describe_pair(net, s, d, "non-terminating route"));
+        continue;
+      }
+
+      // Minimality.
+      const int dist = net.distance(s, d);
+      if (dist < 0 || static_cast<std::size_t>(dist) != path->size()) {
+        if (report.minimal)
+          note(describe_pair(net, s, d, "non-minimal route"));
+        report.minimal = false;
+      }
+
+      const std::vector<NodeId> seq = nodes_of_path(net, s, *path);
+
+      // Node revisits.
+      {
+        std::unordered_set<std::uint32_t> seen;
+        for (const NodeId v : seq) {
+          if (!seen.insert(v.value()).second) {
+            if (!report.revisits_nodes)
+              note(describe_pair(net, s, d, "route revisits a node"));
+            report.revisits_nodes = true;
+            break;
+          }
+        }
+      }
+
+      // Prefix- and suffix-closure over every intermediate node.
+      for (std::size_t i = 1; i + 1 < seq.size(); ++i) {
+        const NodeId w = seq[i];
+        if (w == s || w == d) continue;  // revisit of an endpoint
+
+        // Definition 7: the path s->w must equal the prefix of this path up
+        // to the *first* occurrence of w.
+        if (report.prefix_closed) {
+          std::size_t first = i;
+          for (std::size_t j = 1; j < i; ++j)
+            if (seq[j] == w) { first = j; break; }
+          if (first == i) {  // i is the first occurrence; check only once
+            const Path* pw = cache.get(s, w);
+            const bool ok =
+                pw != nullptr && pw->size() == i &&
+                std::equal(pw->begin(), pw->end(), path->begin());
+            if (!ok) {
+              report.prefix_closed = false;
+              note(describe_pair(net, s, w, "prefix-closure violated"));
+            }
+          }
+        }
+
+        // Definition 8: the path w->d must equal the suffix of this path from
+        // *some* occurrence of w.
+        if (report.suffix_closed) {
+          const Path* pw = cache.get(w, d);
+          bool ok = false;
+          if (pw != nullptr) {
+            for (std::size_t j = 1; j + 1 < seq.size(); ++j) {
+              if (seq[j] != w) continue;
+              const std::size_t suffix_len = path->size() - j;
+              if (pw->size() == suffix_len &&
+                  std::equal(pw->begin(), pw->end(), path->begin() +
+                                 static_cast<std::ptrdiff_t>(j))) {
+                ok = true;
+                break;
+              }
+            }
+          }
+          if (!ok) {
+            report.suffix_closed = false;
+            note(describe_pair(net, w, d, "suffix-closure violated"));
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+bool is_minimal(const RoutingAlgorithm& alg) {
+  return analyze_properties(alg, /*require_total=*/false).minimal;
+}
+bool is_prefix_closed(const RoutingAlgorithm& alg) {
+  return analyze_properties(alg, /*require_total=*/false).prefix_closed;
+}
+bool is_suffix_closed(const RoutingAlgorithm& alg) {
+  return analyze_properties(alg, /*require_total=*/false).suffix_closed;
+}
+bool is_coherent(const RoutingAlgorithm& alg) {
+  return analyze_properties(alg, /*require_total=*/false).coherent();
+}
+
+}  // namespace wormsim::routing

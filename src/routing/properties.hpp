@@ -1,0 +1,51 @@
+// Structural property checkers for oblivious routing algorithms —
+// Definitions 7 (prefix-closed), 8 (suffix-closed) and 9 (coherent) of the
+// paper, plus minimality and totality.
+//
+// These properties gate the paper's Section-5 results: suffix-closed (and
+// hence coherent) oblivious algorithms can have no unreachable cyclic
+// configurations (Corollaries 2 and 3), so a cyclic CDG under those
+// properties *proves* the algorithm can deadlock. The checkers decide the
+// properties exhaustively by tracing every routed pair's path; they are exact
+// for the finite networks studied here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace wormsim::routing {
+
+struct PropertyReport {
+  bool total = true;           ///< routes every ordered pair of distinct nodes
+  bool all_paths_terminate = true;  ///< no livelock / undefined continuation
+  bool minimal = true;         ///< every path has shortest-path length
+  bool prefix_closed = true;   ///< Definition 7
+  bool suffix_closed = true;   ///< Definition 8
+  bool revisits_nodes = false; ///< some path visits a node twice
+  /// Definition 9: prefix-closed && suffix-closed && no revisits.
+  [[nodiscard]] bool coherent() const {
+    return prefix_closed && suffix_closed && !revisits_nodes;
+  }
+
+  /// Human-readable description of the first violation found per property
+  /// (empty when the property holds).
+  std::string first_violation;
+};
+
+/// Analyzes `alg` over all ordered pairs the algorithm routes. When
+/// `require_total` is set, pairs the algorithm does not route count against
+/// `total` but do not affect the other properties (the paper's example
+/// algorithms are total only with hub completion enabled).
+PropertyReport analyze_properties(const RoutingAlgorithm& alg,
+                                  bool require_total = true);
+
+/// Convenience single-property entry points (each traces paths afresh; use
+/// analyze_properties when several are needed).
+bool is_minimal(const RoutingAlgorithm& alg);
+bool is_prefix_closed(const RoutingAlgorithm& alg);
+bool is_suffix_closed(const RoutingAlgorithm& alg);
+bool is_coherent(const RoutingAlgorithm& alg);
+
+}  // namespace wormsim::routing

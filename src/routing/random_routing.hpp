@@ -1,0 +1,31 @@
+// Random oblivious routing-algorithm generators.
+//
+// The Corollary 1–3 property tests need a large population of algorithms in
+// the R : N x N -> C class (input-channel independent, hence suffix-closed).
+// Both generators build, for every destination d, an in-tree rooted at d:
+// every node's out-channel for destination d leads strictly toward the root
+// along tree edges, so every route terminates by construction.
+//
+//  - random_tree_routing: the in-tree is a uniformly random BFS-order tree,
+//    so routes may be non-minimal (but never revisit a node).
+//  - random_minimal_routing: parents are restricted to distance-decreasing
+//    channels, so every route is a (random) shortest path.
+#pragma once
+
+#include <memory>
+
+#include "routing/node_table.hpp"
+#include "util/rng.hpp"
+
+namespace wormsim::routing {
+
+/// Random not-necessarily-minimal N x N -> C algorithm. Requires the network
+/// to be strongly connected.
+std::unique_ptr<NodeTable> random_tree_routing(const topo::Network& net,
+                                               util::Rng& rng);
+
+/// Random minimal N x N -> C algorithm (random shortest-path in-trees).
+std::unique_ptr<NodeTable> random_minimal_routing(const topo::Network& net,
+                                                  util::Rng& rng);
+
+}  // namespace wormsim::routing

@@ -1,0 +1,78 @@
+#include "routing/table_routing.hpp"
+
+namespace wormsim::routing {
+
+void PathTable::add_path(const PathSpec& path) {
+  WORMSIM_EXPECTS(path.src != path.dst);
+  WORMSIM_EXPECTS_MSG(!path.channels.empty(), "path must have >= 1 channel");
+  WORMSIM_EXPECTS_MSG(net().is_walk(path.src, path.dst, path.channels),
+                      "path is not a contiguous walk from src to dst");
+
+  const auto init_key = key(path.src.value(), path.dst.value());
+  WORMSIM_EXPECTS_MSG(!initial_.contains(init_key),
+                      "duplicate route for (src, dst) pair");
+
+  // Enforce the single-valued routing-function property before mutating
+  // anything, so a failed add leaves the table unchanged in builds that trap
+  // the precondition failure.
+  for (std::size_t i = 0; i + 1 < path.channels.size(); ++i) {
+    const auto k = key(path.channels[i].value(), path.dst.value());
+    const auto it = next_.find(k);
+    WORMSIM_EXPECTS_MSG(it == next_.end() || it->second == path.channels[i + 1],
+                        "path conflicts with existing routing function entry");
+  }
+  // The destination must not already have a continuation out of the final
+  // channel: R(c, d) is undefined when head(c) == d (consumption).
+  {
+    const auto k = key(path.channels.back().value(), path.dst.value());
+    WORMSIM_EXPECTS_MSG(!next_.contains(k),
+                        "another path continues past this path's last channel");
+  }
+  // Symmetrically, no intermediate channel of this path may be the *final*
+  // channel of an existing path to the same destination: that would mean the
+  // header both stops and continues there.
+  for (std::size_t i = 0; i + 1 < path.channels.size(); ++i) {
+    WORMSIM_EXPECTS_MSG(net().channel(path.channels[i]).dst != path.dst,
+                        "path passes through the destination and continues");
+  }
+
+  initial_.emplace(init_key, path.channels.front());
+  for (std::size_t i = 0; i + 1 < path.channels.size(); ++i)
+    next_.emplace(key(path.channels[i].value(), path.dst.value()),
+                  path.channels[i + 1]);
+  paths_.push_back(path);
+}
+
+void PathTable::add_node_path(std::span<const NodeId> nodes,
+                              std::uint16_t lane) {
+  WORMSIM_EXPECTS(nodes.size() >= 2);
+  PathSpec spec{nodes.front(), nodes.back(), {}};
+  spec.channels.reserve(nodes.size() - 1);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const auto c = net().find_channel(nodes[i], nodes[i + 1], lane);
+    WORMSIM_EXPECTS_MSG(c.has_value(), "no channel between consecutive nodes");
+    spec.channels.push_back(*c);
+  }
+  add_path(spec);
+}
+
+bool PathTable::routes(NodeId src, NodeId dst) const {
+  return initial_.contains(key(src.value(), dst.value()));
+}
+
+ChannelId PathTable::initial_channel(NodeId src, NodeId dst) const {
+  const auto it = initial_.find(key(src.value(), dst.value()));
+  WORMSIM_EXPECTS_MSG(it != initial_.end(), "no route for (src, dst)");
+  return it->second;
+}
+
+ChannelId PathTable::next_channel(ChannelId in, NodeId dst) const {
+  WORMSIM_EXPECTS_MSG(net().channel(in).dst != dst,
+                      "message at destination is consumed, not routed");
+  const auto it = next_.find(key(in.value(), dst.value()));
+  WORMSIM_EXPECTS_MSG(it != next_.end(),
+                      "routing function undefined for (channel, dst)");
+  return it->second;
+}
+
+}  // namespace wormsim::routing

@@ -1,0 +1,71 @@
+// Table-based oblivious routing built from explicit per-pair paths.
+//
+// This is the workhorse representation for the paper's example algorithms:
+// each (source, destination) pair gets an explicit channel path, and the
+// class checks that the collection of paths is realizable as a single-valued
+// routing *function* R : C x N -> C — i.e. whenever two paths toward the same
+// destination pass through the same channel, they must continue identically.
+// Violations are rejected at construction time, so a successfully built
+// PathTable is, by construction, a legal oblivious routing algorithm.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace wormsim::routing {
+
+/// One explicit route.
+struct PathSpec {
+  NodeId src;
+  NodeId dst;
+  std::vector<ChannelId> channels;
+};
+
+class PathTable final : public RoutingAlgorithm {
+ public:
+  explicit PathTable(const topo::Network& net, std::string name = "path-table")
+      : RoutingAlgorithm(net), name_(std::move(name)) {}
+
+  /// Registers a route. Aborts (precondition failure) if the path is not a
+  /// walk from src to dst, if a different route for (src, dst) was already
+  /// added, or if the path conflicts with the routing-function property.
+  void add_path(const PathSpec& path);
+
+  /// Convenience: add a path given as a node sequence; channels are resolved
+  /// as lane-`lane` channels between consecutive nodes.
+  void add_node_path(std::span<const NodeId> nodes, std::uint16_t lane = 0);
+
+  /// Registered (src, dst) pairs.
+  [[nodiscard]] const std::vector<PathSpec>& paths() const { return paths_; }
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] ChannelId initial_channel(NodeId src,
+                                          NodeId dst) const override;
+  [[nodiscard]] ChannelId next_channel(ChannelId in, NodeId dst) const override;
+
+ private:
+  struct PairKey {
+    std::uint64_t packed;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairHash {
+    std::size_t operator()(const PairKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.packed);
+    }
+  };
+  static PairKey key(std::uint32_t a, std::uint32_t b) {
+    return PairKey{(std::uint64_t{a} << 32) | b};
+  }
+
+  std::string name_;
+  std::vector<PathSpec> paths_;
+  // (source node, destination node) -> first channel
+  std::unordered_map<PairKey, ChannelId, PairHash> initial_;
+  // (input channel, destination node) -> output channel
+  std::unordered_map<PairKey, ChannelId, PairHash> next_;
+};
+
+}  // namespace wormsim::routing

@@ -1,0 +1,81 @@
+// Output-channel arbitration policies (paper Assumption 5 and the Section-3
+// adversary).
+//
+// When several headers simultaneously request the same free output channel,
+// the router grants it to exactly one. Assumption 5 requires the policy to
+// be starvation-free for waiting messages; the paper additionally *assumes
+// the adversary wins*: "when one of these messages can lead to a deadlock,
+// that message is assumed to acquire the channel". The schedule-search in
+// src/analysis realizes that adversary by sweeping PriorityArbitration over
+// message orderings.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/assert.hpp"
+
+namespace wormsim::sim {
+
+/// One header's request for a free output channel.
+struct ChannelRequest {
+  MessageId message;
+  ChannelId channel;
+  Cycle waiting_since;  ///< cycle the message first wanted this hop
+};
+
+/// Strategy interface: choose the winner among requests for one channel.
+/// `requests` is non-empty and all entries target the same channel.
+class ArbitrationPolicy {
+ public:
+  virtual ~ArbitrationPolicy() = default;
+  [[nodiscard]] virtual MessageId pick(
+      std::span<const ChannelRequest> requests) const = 0;
+};
+
+/// Longest-waiting-first, ties broken by lower message id. Starvation-free:
+/// a waiting message's seniority only grows, so it is eventually the oldest.
+class FifoArbitration final : public ArbitrationPolicy {
+ public:
+  [[nodiscard]] MessageId pick(
+      std::span<const ChannelRequest> requests) const override {
+    WORMSIM_EXPECTS(!requests.empty());
+    const ChannelRequest* best = &requests.front();
+    for (const ChannelRequest& r : requests)
+      if (r.waiting_since < best->waiting_since ||
+          (r.waiting_since == best->waiting_since &&
+           r.message < best->message))
+        best = &r;
+    return best->message;
+  }
+};
+
+/// Fixed global priority over messages (lower rank wins). Used by the
+/// deadlock search to emulate the paper's adversarial tie-breaking; falls
+/// back to message id for unranked messages.
+class PriorityArbitration final : public ArbitrationPolicy {
+ public:
+  /// `ranking[i]` is the rank of message id i; lower rank wins. Messages
+  /// beyond the vector rank after all ranked ones.
+  explicit PriorityArbitration(std::vector<std::uint32_t> ranking)
+      : ranking_(std::move(ranking)) {}
+
+  [[nodiscard]] MessageId pick(
+      std::span<const ChannelRequest> requests) const override {
+    WORMSIM_EXPECTS(!requests.empty());
+    const ChannelRequest* best = &requests.front();
+    for (const ChannelRequest& r : requests)
+      if (rank(r.message) < rank(best->message)) best = &r;
+    return best->message;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t rank(MessageId m) const {
+    if (m.index() < ranking_.size()) return ranking_[m.index()];
+    return std::uint64_t{1} << 40 | m.value();
+  }
+  std::vector<std::uint32_t> ranking_;
+};
+
+}  // namespace wormsim::sim

@@ -1,0 +1,558 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace wormsim::sim {
+
+WormholeSimulator::WormholeSimulator(const routing::RoutingAlgorithm& alg,
+                                     SimConfig config,
+                                     const ArbitrationPolicy& policy)
+    : owned_adapter_(
+          std::make_shared<routing::ObliviousAsAdaptive>(alg)),
+      config_(config),
+      policy_(&policy) {
+  alg_ = owned_adapter_.get();
+  WORMSIM_EXPECTS(config_.buffer_depth >= 1);
+  channels_.resize(alg.net().channel_count());
+}
+
+WormholeSimulator::WormholeSimulator(const routing::RoutingAlgorithm& alg,
+                                     SimConfig config)
+    : owned_adapter_(
+          std::make_shared<routing::ObliviousAsAdaptive>(alg)),
+      config_(config),
+      policy_(nullptr) {
+  alg_ = owned_adapter_.get();
+  WORMSIM_EXPECTS(config_.buffer_depth >= 1);
+  channels_.resize(alg.net().channel_count());
+}
+
+WormholeSimulator::WormholeSimulator(const routing::AdaptiveRouting& alg,
+                                     SimConfig config,
+                                     const ArbitrationPolicy& policy)
+    : alg_(&alg), config_(config), policy_(&policy) {
+  WORMSIM_EXPECTS(config_.buffer_depth >= 1);
+  channels_.resize(alg.net().channel_count());
+}
+
+WormholeSimulator::WormholeSimulator(const routing::AdaptiveRouting& alg,
+                                     SimConfig config)
+    : alg_(&alg), config_(config), policy_(nullptr) {
+  WORMSIM_EXPECTS(config_.buffer_depth >= 1);
+  channels_.resize(alg.net().channel_count());
+}
+
+MessageId WormholeSimulator::add_message(MessageSpec spec) {
+  WORMSIM_EXPECTS(spec.src != spec.dst);
+  WORMSIM_EXPECTS(spec.length >= 1);
+  WORMSIM_EXPECTS_MSG(alg_->routes(spec.src, spec.dst),
+                      "routing algorithm does not route this pair");
+  const MessageId id{messages_.size()};
+  MessageState state;
+  state.spec = std::move(spec);
+  messages_.push_back(std::move(state));
+  return id;
+}
+
+std::vector<ChannelId> WormholeSimulator::desired_channels(
+    const MessageState& m) const {
+  switch (m.status) {
+    case MessageStatus::kPending:
+      return alg_->initial_channels(m.spec.src, m.spec.dst);
+    case MessageStatus::kMoving: {
+      const ChannelId leading = m.path.back();
+      if (alg_->net().channel(leading).dst == m.spec.dst)
+        return {};  // at destination: consume, not route
+      return alg_->next_channels(leading, m.spec.dst);
+    }
+    case MessageStatus::kDelivered:
+    case MessageStatus::kConsumed:
+      return {};
+  }
+  WORMSIM_UNREACHABLE("bad MessageStatus");
+}
+
+bool WormholeSimulator::tick_stall(MessageState& m, std::size_t hop) {
+  if (!m.stall_loaded) {
+    m.stall_remaining = hop < m.spec.hop_stalls.size()
+                            ? m.spec.hop_stalls[hop]
+                            : 0u;
+    m.stall_loaded = true;
+  }
+  if (m.stall_remaining > 0) {
+    --m.stall_remaining;
+    return true;
+  }
+  return false;
+}
+
+void WormholeSimulator::note_exit(MessageState& m, std::size_t path_index) {
+  ++m.exited[path_index];
+  WORMSIM_ASSERT(m.exited[path_index] <= m.spec.length);
+  // Release every fully drained prefix channel (tail has passed).
+  while (m.released < m.path.size() &&
+         m.exited[m.released] == m.spec.length) {
+    ChannelState& ch = channels_[m.path[m.released].index()];
+    WORMSIM_ASSERT(ch.count == 0);
+    ch.owner = MessageId::invalid();
+    ++m.released;
+  }
+}
+
+void WormholeSimulator::acquire(MessageId id, MessageState& m, ChannelId c) {
+  ChannelState& ch = channels_[c.index()];
+  WORMSIM_ASSERT(!ch.owner.valid() && ch.count == 0);
+  ch.owner = id;
+  ch.count = 1;
+  ch.transmitted = true;
+  m.path.push_back(c);
+  m.exited.push_back(0);
+  m.stall_loaded = false;
+  m.waiting = false;
+  ++m.stats.hops;
+  ++flits_moved_;
+}
+
+bool WormholeSimulator::compute_requests() {
+  ++cycle_;
+  bool progress = false;
+
+  for (ChannelState& ch : channels_) {
+    ch.transmitted = false;
+    if (ch.owner.valid()) ++ch.busy_cycles;
+  }
+
+  requests_.clear();
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    MessageState& m = messages_[i];
+    if (m.status == MessageStatus::kDelivered ||
+        m.status == MessageStatus::kConsumed)
+      continue;
+    if (m.status == MessageStatus::kPending &&
+        cycle_ < m.spec.release_time) {
+      // Not yet released; the passage of time toward the release counts as
+      // pending progress so quiescence is not declared prematurely.
+      progress = true;
+      continue;
+    }
+    const auto wants = desired_channels(m);
+    if (wants.empty()) continue;  // header at destination; consumed below
+    const std::size_t hop = m.path.size();
+    if (tick_stall(m, hop)) {
+      progress = true;  // adversarial stall ticking
+      continue;
+    }
+    if (!m.waiting) {
+      m.waiting = true;
+      m.waiting_since = cycle_;
+    }
+    for (const ChannelId want : wants)
+      if (!channels_[want.index()].owner.valid())
+        requests_.push_back(
+            ChannelRequest{MessageId{i}, want, m.waiting_since});
+  }
+  return progress;
+}
+
+bool WormholeSimulator::step() {
+  WORMSIM_EXPECTS_MSG(policy_ != nullptr,
+                      "step() requires an arbitration policy");
+  bool progress = compute_requests();
+
+  // Arbitration: one winner per contested channel; a message that has
+  // already won a channel this cycle (adaptive multi-candidate requests)
+  // is skipped and the surplus channel stays idle for this cycle.
+  std::vector<ChannelId> granted(messages_.size(), ChannelId::invalid());
+  std::unordered_map<std::uint32_t, std::vector<ChannelRequest>> by_channel;
+  for (const ChannelRequest& r : requests_)
+    by_channel[r.channel.value()].push_back(r);
+  // Deterministic processing order (map order is not).
+  std::vector<std::uint32_t> channel_order;
+  channel_order.reserve(by_channel.size());
+  for (const auto& [chan, reqs] : by_channel) channel_order.push_back(chan);
+  std::sort(channel_order.begin(), channel_order.end());
+  for (const std::uint32_t chan : channel_order) {
+    auto& reqs = by_channel[chan];
+    // Drop requesters that already won another channel this cycle.
+    reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                              [&](const ChannelRequest& r) {
+                                return granted[r.message.index()].valid();
+                              }),
+               reqs.end());
+    if (reqs.empty()) continue;
+    const MessageId winner = policy_->pick(reqs);
+    WORMSIM_ASSERT(std::any_of(reqs.begin(), reqs.end(),
+                               [&](const ChannelRequest& r) {
+                                 return r.message == winner;
+                               }));
+    granted[winner.index()] = ChannelId{chan};
+  }
+
+  if (execute_moves(granted)) progress = true;
+  if (config_.check_invariants) check_invariants();
+  return progress;
+}
+
+std::vector<MessageRequests> WormholeSimulator::peek_requests() const {
+  WormholeSimulator probe(*this);
+  probe.compute_requests();
+  std::unordered_map<std::uint32_t, std::size_t> entry_of;
+  std::vector<MessageRequests> result;
+  for (const ChannelRequest& r : probe.requests_) {
+    const auto [it, inserted] =
+        entry_of.emplace(r.message.value(), result.size());
+    if (inserted) {
+      MessageRequests entry;
+      entry.message = r.message;
+      entry.moving = probe.messages_[r.message.index()].status ==
+                     MessageStatus::kMoving;
+      result.push_back(std::move(entry));
+    }
+    result[it->second].channels.push_back(r.channel);
+  }
+  for (MessageRequests& entry : result)
+    std::sort(entry.channels.begin(), entry.channels.end());
+  return result;
+}
+
+bool WormholeSimulator::step_with_grants(
+    std::span<const std::pair<ChannelId, MessageId>> grants) {
+  bool progress = compute_requests();
+
+  std::vector<ChannelId> granted(messages_.size(), ChannelId::invalid());
+  std::unordered_map<std::uint32_t, char> channel_taken;
+  for (const auto& [channel, winner] : grants) {
+    const bool is_request = std::any_of(
+        requests_.begin(), requests_.end(), [&](const ChannelRequest& r) {
+          return r.channel == channel && r.message == winner;
+        });
+    WORMSIM_EXPECTS_MSG(is_request, "grant does not match any request");
+    WORMSIM_EXPECTS_MSG(!granted[winner.index()].valid(),
+                        "message granted two channels in one cycle");
+    WORMSIM_EXPECTS_MSG(!channel_taken[channel.value()]++,
+                        "channel granted to two messages in one cycle");
+    granted[winner.index()] = channel;
+  }
+
+  if (execute_moves(granted)) progress = true;
+  if (config_.check_invariants) check_invariants();
+  return progress;
+}
+
+bool WormholeSimulator::all_consumed() const {
+  return std::all_of(messages_.begin(), messages_.end(),
+                     [](const MessageState& m) {
+                       return m.status == MessageStatus::kConsumed;
+                     });
+}
+
+std::string WormholeSimulator::state_key() const {
+  std::string key;
+  key.reserve(channels_.size() * 2 + messages_.size() * 8);
+  auto put32 = [&key](std::uint32_t v) {
+    key.push_back(static_cast<char>(v & 0xff));
+    key.push_back(static_cast<char>((v >> 8) & 0xff));
+    key.push_back(static_cast<char>((v >> 16) & 0xff));
+    key.push_back(static_cast<char>((v >> 24) & 0xff));
+  };
+  for (const ChannelState& ch : channels_) {
+    put32(ch.owner.valid() ? ch.owner.value() + 1 : 0);
+    put32(ch.count);
+  }
+  for (const MessageState& m : messages_) {
+    key.push_back(static_cast<char>(m.status));
+    put32(m.flits_injected);
+    put32(m.flits_consumed);
+    put32(static_cast<std::uint32_t>(m.released));
+    put32(static_cast<std::uint32_t>(m.path.size()));
+    for (std::size_t j = m.released; j < m.path.size(); ++j) {
+      put32(m.path[j].value());
+      put32(m.exited[j]);
+    }
+  }
+  return key;
+}
+
+bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
+  bool progress = false;
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    MessageState& m = messages_[i];
+    const MessageId id{i};
+    if (m.status == MessageStatus::kConsumed) continue;
+
+    // Front operation: consume at destination, advance header, or inject.
+    if (m.status == MessageStatus::kMoving) {
+      const ChannelId leading = m.path.back();
+      if (alg_->net().channel(leading).dst == m.spec.dst) {
+        // Header consumed by the destination node (Assumption 2).
+        ChannelState& ch = channels_[leading.index()];
+        WORMSIM_ASSERT(ch.count > 0);
+        --ch.count;
+        m.flits_consumed = 1;
+        m.status = m.spec.length == 1 ? MessageStatus::kConsumed
+                                      : MessageStatus::kDelivered;
+        m.stats.deliver_cycle = cycle_;
+        if (m.status == MessageStatus::kConsumed)
+          m.stats.consume_cycle = cycle_;
+        note_exit(m, m.path.size() - 1);
+        if (emitting())
+          emit("header of m" + std::to_string(i) + " consumed at " +
+               alg_->net().node_name(m.spec.dst));
+        progress = true;
+      } else if (granted[i].valid()) {
+        const ChannelId next = granted[i];
+        ChannelState& prev = channels_[m.path.back().index()];
+        WORMSIM_ASSERT(prev.count > 0);
+        --prev.count;
+        const std::size_t prev_index = m.path.size() - 1;
+        acquire(id, m, next);
+        note_exit(m, prev_index);
+        if (emitting())
+          emit("m" + std::to_string(i) + " header -> " +
+               alg_->net().channel(next).name);
+        progress = true;
+      }
+    } else if (m.status == MessageStatus::kPending && granted[i].valid()) {
+      const ChannelId first = granted[i];
+      acquire(id, m, first);
+      m.flits_injected = 1;
+      m.status = MessageStatus::kMoving;
+      m.stats.inject_cycle = cycle_;
+      if (emitting())
+        emit("m" + std::to_string(i) + " injected into " +
+             alg_->net().channel(first).name);
+      progress = true;
+    } else if (m.status == MessageStatus::kDelivered) {
+      ChannelState& ch = channels_[m.path.back().index()];
+      if (ch.count > 0) {
+        --ch.count;
+        ++m.flits_consumed;
+        note_exit(m, m.path.size() - 1);
+        progress = true;
+        if (m.flits_consumed == m.spec.length) {
+          m.status = MessageStatus::kConsumed;
+          m.stats.consume_cycle = cycle_;
+          if (emitting()) emit("m" + std::to_string(i) + " fully consumed");
+        }
+      }
+    }
+
+    if (m.path.empty()) continue;
+
+    // Data-flit shifts, downstream-first so a worm pipelines in lockstep.
+    if (m.path.size() >= 2) {
+      for (std::size_t j = m.path.size() - 1; j > m.released; --j) {
+        ChannelState& from = channels_[m.path[j - 1].index()];
+        ChannelState& to = channels_[m.path[j].index()];
+        if (from.count == 0) continue;
+        if (to.count >= config_.buffer_depth || to.transmitted) continue;
+        --from.count;
+        ++to.count;
+        to.transmitted = true;
+        note_exit(m, j - 1);
+        ++flits_moved_;
+        progress = true;
+      }
+    }
+
+    // Inject remaining body flits into the first path channel.
+    if (m.flits_injected > 0 && m.flits_injected < m.spec.length) {
+      WORMSIM_ASSERT(m.released == 0);  // first channel can't drain early
+      ChannelState& first = channels_[m.path.front().index()];
+      if (first.count < config_.buffer_depth && !first.transmitted) {
+        ++first.count;
+        first.transmitted = true;
+        ++m.flits_injected;
+        ++flits_moved_;
+        progress = true;
+      }
+    }
+  }
+  return progress;
+}
+
+RunResult WormholeSimulator::run() {
+  RunResult result;
+  while (cycle_ < config_.max_cycles) {
+    const bool progress = step();
+    const bool all_done = std::all_of(
+        messages_.begin(), messages_.end(), [](const MessageState& m) {
+          return m.status == MessageStatus::kConsumed;
+        });
+    if (all_done) {
+      result.outcome = RunOutcome::kAllConsumed;
+      result.cycles = cycle_;
+      return result;
+    }
+    if (!progress) {
+      // Quiescent with unfinished messages: frozen forever => deadlock.
+      result.outcome = RunOutcome::kDeadlock;
+      result.cycles = cycle_;
+      const auto occ = occupancy();
+      result.deadlock_cycle = find_wait_cycle(
+          occ, [this](ChannelId c) { return channel_owner(c); });
+      return result;
+    }
+  }
+  result.outcome = RunOutcome::kHorizon;
+  result.cycles = cycle_;
+  return result;
+}
+
+const MessageStats& WormholeSimulator::stats(MessageId m) const {
+  WORMSIM_EXPECTS(m.valid() && m.index() < messages_.size());
+  return messages_[m.index()].stats;
+}
+
+MessageStatus WormholeSimulator::status(MessageId m) const {
+  WORMSIM_EXPECTS(m.valid() && m.index() < messages_.size());
+  return messages_[m.index()].status;
+}
+
+const MessageSpec& WormholeSimulator::spec(MessageId m) const {
+  WORMSIM_EXPECTS(m.valid() && m.index() < messages_.size());
+  return messages_[m.index()].spec;
+}
+
+std::vector<ChannelId> WormholeSimulator::held_channels(MessageId m) const {
+  WORMSIM_EXPECTS(m.valid() && m.index() < messages_.size());
+  const MessageState& state = messages_[m.index()];
+  return {state.path.begin() +
+              static_cast<std::ptrdiff_t>(state.released),
+          state.path.end()};
+}
+
+std::vector<MessageOccupancy> WormholeSimulator::occupancy() const {
+  std::vector<MessageOccupancy> result;
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    const MessageState& m = messages_[i];
+    if (m.status == MessageStatus::kConsumed ||
+        m.status == MessageStatus::kPending)
+      continue;
+    MessageOccupancy occ;
+    occ.message = MessageId{i};
+    occ.status = m.status;
+    for (std::size_t j = m.released; j < m.path.size(); ++j) {
+      occ.held.push_back(m.path[j]);
+      occ.counts.push_back(channels_[m.path[j].index()].count);
+    }
+    if (m.status == MessageStatus::kMoving) {
+      // Blocked only when EVERY candidate is occupied (an adaptive header
+      // with any free alternative is not blocked). blocked_on reports the
+      // first occupied candidate; for oblivious routing that is exact.
+      const auto wants = desired_channels(m);
+      const bool all_owned =
+          !wants.empty() &&
+          std::all_of(wants.begin(), wants.end(), [this](ChannelId c) {
+            return channels_[c.index()].owner.valid();
+          });
+      if (all_owned) occ.blocked_on = wants.front();
+    }
+    result.push_back(std::move(occ));
+  }
+  return result;
+}
+
+MessageId WormholeSimulator::channel_owner(ChannelId c) const {
+  WORMSIM_EXPECTS(c.valid() && c.index() < channels_.size());
+  return channels_[c.index()].owner;
+}
+
+std::uint32_t WormholeSimulator::channel_count(ChannelId c) const {
+  WORMSIM_EXPECTS(c.valid() && c.index() < channels_.size());
+  return channels_[c.index()].count;
+}
+
+std::uint64_t WormholeSimulator::channel_busy_cycles(ChannelId c) const {
+  WORMSIM_EXPECTS(c.valid() && c.index() < channels_.size());
+  return channels_[c.index()].busy_cycles;
+}
+
+void WormholeSimulator::emit(const std::string& text) {
+  if (hook_) hook_(cycle_, text);
+  WORMSIM_LOG(Trace) << "cycle " << cycle_ << ": " << text;
+}
+
+bool WormholeSimulator::emitting() const {
+  return static_cast<bool>(hook_) ||
+         util::Log::enabled(util::LogLevel::Trace);
+}
+
+void WormholeSimulator::check_invariants() const {
+  // Channel-level: counts within capacity; free channels are empty.
+  std::vector<std::uint32_t> expected_count(channels_.size(), 0);
+  std::vector<MessageId> expected_owner(channels_.size());
+
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    const MessageState& m = messages_[i];
+    WORMSIM_ASSERT(m.path.size() == m.exited.size());
+    WORMSIM_ASSERT(m.released <= m.path.size());
+    std::uint32_t accounted = m.flits_consumed;
+    for (std::size_t j = 0; j < m.path.size(); ++j) {
+      const std::uint32_t entered =
+          j == 0 ? m.flits_injected : m.exited[j - 1];
+      WORMSIM_ASSERT_MSG(entered >= m.exited[j],
+                         "flits exit a channel only after entering it");
+      const std::uint32_t in_channel = entered - m.exited[j];
+      accounted += in_channel;
+      if (j >= m.released) {
+        WORMSIM_ASSERT(expected_owner[m.path[j].index()] ==
+                       MessageId::invalid());
+        expected_owner[m.path[j].index()] = MessageId{i};
+        expected_count[m.path[j].index()] = in_channel;
+      } else {
+        WORMSIM_ASSERT_MSG(in_channel == 0, "released channel still holds flits");
+      }
+    }
+    accounted += m.spec.length - m.flits_injected;
+    WORMSIM_ASSERT_MSG(accounted == m.spec.length, "flit conservation");
+  }
+
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    WORMSIM_ASSERT(channels_[c].count <= config_.buffer_depth);
+    WORMSIM_ASSERT_MSG(channels_[c].owner == expected_owner[c],
+                       "channel ownership book-keeping diverged");
+    WORMSIM_ASSERT_MSG(channels_[c].count == expected_count[c],
+                       "channel occupancy book-keeping diverged");
+    if (!channels_[c].owner.valid()) WORMSIM_ASSERT(channels_[c].count == 0);
+  }
+}
+
+std::vector<MessageId> find_wait_cycle(
+    std::span<const MessageOccupancy> occupancy,
+    const std::function<MessageId(ChannelId)>& owner_of) {
+  // Functional successor graph: a blocked message points at the owner of the
+  // channel it wants. Walk from each node with cycle detection.
+  std::unordered_map<std::uint32_t, MessageId> successor;
+  for (const MessageOccupancy& occ : occupancy) {
+    if (!occ.blocked_on.valid()) continue;
+    const MessageId owner = owner_of(occ.blocked_on);
+    if (owner.valid()) successor.emplace(occ.message.value(), owner);
+  }
+
+  for (const auto& [start, _] : successor) {
+    std::vector<MessageId> walk;
+    std::unordered_map<std::uint32_t, std::size_t> position;
+    MessageId at{start};
+    while (true) {
+      const auto seen = position.find(at.value());
+      if (seen != position.end()) {
+        // Cycle: the suffix of the walk from the first repeat.
+        return {walk.begin() + static_cast<std::ptrdiff_t>(seen->second),
+                walk.end()};
+      }
+      position.emplace(at.value(), walk.size());
+      walk.push_back(at);
+      const auto next = successor.find(at.value());
+      if (next == successor.end()) break;
+      at = next->second;
+    }
+  }
+  return {};
+}
+
+}  // namespace wormsim::sim

@@ -1,0 +1,254 @@
+// Cycle-accurate flit-level wormhole-routing simulator.
+//
+// Implements exactly the model of the paper's Section 3:
+//   1. nodes generate messages of arbitrary length at any rate (the caller
+//      supplies any multiset of MessageSpecs);
+//   2. a message arriving at its destination is eventually consumed (the
+//      sink accepts one flit per cycle, unconditionally);
+//   3/4. atomic buffer allocation — a channel queue holds flits of at most
+//      one message, and must transmit the current message's last flit before
+//      accepting another header;
+//   5. arbitration among simultaneous requests is a pluggable policy; the
+//      default (FIFO) is starvation-free, and PriorityArbitration realizes
+//      the paper's adversarial tie-breaking.
+//
+// Timing model (synchronous, one network clock — Section 3's "same network
+// cycle time" with modest skew modeled by per-hop stalls):
+//   - each channel transmits at most one flit per cycle;
+//   - a flit may enter a buffer slot vacated in the same cycle by the flit
+//     ahead of it in the same worm (standard wormhole pipelining), because
+//     data shifts are processed downstream-first;
+//   - a channel released by a *tail* flit this cycle accepts a new header
+//     no earlier than the next cycle (atomic allocation);
+//   - header acquisition of a free channel is decided by arbitration among
+//     the headers requesting it this cycle.
+//
+// Deadlock detection: the simulation is deterministic, so if a cycle passes
+// with no state change (no flit moved/injected/consumed, no stall counter
+// ticked, no pending release times in the future), the state is frozen
+// forever; if undelivered messages remain this is precisely a deadlock
+// (Definition 6). The detector also reports the wait-for cycle among the
+// frozen messages for diagnostics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "routing/adaptive.hpp"
+#include "routing/routing.hpp"
+#include "sim/arbitration.hpp"
+#include "sim/types.hpp"
+
+namespace wormsim::sim {
+
+struct SimConfig {
+  /// Flit-buffer depth of every channel queue. The paper's deadlock
+  /// arguments use depth 1 as the adversarial worst case.
+  std::uint32_t buffer_depth = 1;
+  /// Hard cycle limit for run().
+  Cycle max_cycles = 1'000'000;
+  /// Run per-cycle structural invariant checks (tests enable this; costs
+  /// O(messages + channels) per cycle).
+  bool check_invariants = false;
+};
+
+/// Per-message outcome statistics.
+struct MessageStats {
+  MessageStatus status = MessageStatus::kPending;
+  Cycle inject_cycle = 0;   ///< header entered its first channel
+  Cycle deliver_cycle = 0;  ///< header consumed at the destination
+  Cycle consume_cycle = 0;  ///< tail flit consumed
+  std::uint32_t hops = 0;   ///< channels traversed by the header
+};
+
+/// Result of a completed run().
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kHorizon;
+  Cycle cycles = 0;
+  /// Messages participating in a wait-for cycle at deadlock (empty unless
+  /// outcome == kDeadlock and a cycle was identified).
+  std::vector<MessageId> deadlock_cycle;
+};
+
+/// Snapshot of one message's channel occupancy (analysis::Configuration is
+/// built from these).
+struct MessageOccupancy {
+  MessageId message;
+  MessageStatus status;
+  /// Channels currently holding flits of this message (path order,
+  /// upstream -> downstream). The last one is the leading channel while the
+  /// header is in flight.
+  std::vector<ChannelId> held;
+  /// Flits buffered in each held channel (parallel to `held`).
+  std::vector<std::uint32_t> counts;
+  /// The channel the header is blocked on, if blocked on an occupied channel.
+  ChannelId blocked_on = ChannelId::invalid();
+};
+
+/// One header's request set for this cycle: the free channels it may enter.
+/// Used by the model-checking interface (analysis::find_deadlock) to
+/// enumerate adversarial arbitration outcomes. In the paper's synchronous
+/// model an in-flight (moving) header with a free candidate MUST be granted
+/// one of them; pending headers may stay ungranted (the adversary controls
+/// generation times). Oblivious algorithms always have exactly one
+/// candidate; adaptive algorithms may offer several.
+struct MessageRequests {
+  MessageId message;
+  bool moving = false;   ///< kMoving (vs kPending injection request)
+  std::vector<ChannelId> channels;  ///< free candidates, sorted
+};
+
+class WormholeSimulator {
+ public:
+  /// The network/algorithm/policy must outlive the simulator. Simulators are
+  /// copyable so reachability searches can fork states.
+  WormholeSimulator(const routing::RoutingAlgorithm& alg, SimConfig config,
+                    const ArbitrationPolicy& policy);
+
+  /// Constructs without a policy; only step_with_grants() may be used.
+  WormholeSimulator(const routing::RoutingAlgorithm& alg, SimConfig config);
+
+  /// Adaptive-routing variants of the two constructors above.
+  WormholeSimulator(const routing::AdaptiveRouting& alg, SimConfig config,
+                    const ArbitrationPolicy& policy);
+  WormholeSimulator(const routing::AdaptiveRouting& alg, SimConfig config);
+
+  [[nodiscard]] const topo::Network& net() const { return alg_->net(); }
+
+  /// Adds a message before or during simulation; returns its id (dense,
+  /// in insertion order). Messages whose release_time is in the past are
+  /// eligible immediately.
+  MessageId add_message(MessageSpec spec);
+
+  /// Advances one cycle using the arbitration policy. Returns true if any
+  /// state changed.
+  bool step();
+
+  /// The requests that would be raised next cycle, grouped by message.
+  /// Non-mutating (works on an internal copy).
+  [[nodiscard]] std::vector<MessageRequests> peek_requests() const;
+
+  /// Advances one cycle with an explicit grant assignment instead of the
+  /// policy: `grants` maps channel -> winning message, and every entry must
+  /// correspond to an actual request this cycle. Channels absent from the
+  /// map are granted to nobody. Returns true if any state changed.
+  bool step_with_grants(
+      std::span<const std::pair<ChannelId, MessageId>> grants);
+
+  /// True when every message has been fully consumed.
+  [[nodiscard]] bool all_consumed() const;
+
+  /// Canonical serialization of the time-independent simulation state
+  /// (channel ownership/occupancy + per-message progress). Two states with
+  /// equal keys behave identically under identical future grant choices, so
+  /// reachability searches may memoize on it. Release times must be in the
+  /// past and per-hop stalls exhausted for the key to be sound; the model
+  /// checker enforces that by construction.
+  [[nodiscard]] std::string state_key() const;
+
+  /// Runs until completion, deadlock, or the cycle limit.
+  RunResult run();
+
+  [[nodiscard]] Cycle now() const { return cycle_; }
+  [[nodiscard]] std::size_t message_count() const { return messages_.size(); }
+  [[nodiscard]] const MessageStats& stats(MessageId m) const;
+  [[nodiscard]] MessageStatus status(MessageId m) const;
+  [[nodiscard]] const MessageSpec& spec(MessageId m) const;
+
+  /// Channels currently acquired (not yet released) by `m`, upstream first.
+  [[nodiscard]] std::vector<ChannelId> held_channels(MessageId m) const;
+
+  /// Occupancy snapshot for all in-flight messages.
+  [[nodiscard]] std::vector<MessageOccupancy> occupancy() const;
+
+  /// Owner of channel `c`, or invalid if free.
+  [[nodiscard]] MessageId channel_owner(ChannelId c) const;
+
+  /// Buffered flit count of channel `c`.
+  [[nodiscard]] std::uint32_t channel_count(ChannelId c) const;
+
+  /// Total flits moved across all channels so far (activity metric).
+  [[nodiscard]] std::uint64_t flits_moved() const { return flits_moved_; }
+
+  /// Cycles channel `c` has spent allocated to some message (utilization
+  /// numerator; divide by now() for the utilization fraction).
+  [[nodiscard]] std::uint64_t channel_busy_cycles(ChannelId c) const;
+
+  /// Event hook for traces/tests: called as (cycle, text).
+  using EventHook = std::function<void(Cycle, const std::string&)>;
+  void set_event_hook(EventHook hook) { hook_ = std::move(hook); }
+
+ private:
+  struct MessageState {
+    MessageSpec spec;
+    MessageStatus status = MessageStatus::kPending;
+    std::vector<ChannelId> path;        ///< acquired channels in order
+    std::vector<std::uint32_t> exited;  ///< flits that have left path[j]
+    std::size_t released = 0;           ///< prefix of path released
+    std::uint32_t flits_injected = 0;   ///< flits that left the source
+    std::uint32_t flits_consumed = 0;
+    std::uint32_t stall_remaining = 0;
+    bool stall_loaded = false;   ///< stall for the current hop initialized
+    Cycle waiting_since = 0;     ///< for FIFO arbitration fairness
+    bool waiting = false;
+    MessageStats stats;
+  };
+
+  struct ChannelState {
+    MessageId owner;            ///< invalid when free
+    std::uint32_t count = 0;    ///< buffered flits
+    bool transmitted = false;   ///< a flit entered this channel this cycle
+    std::uint64_t busy_cycles = 0;  ///< cycles spent allocated
+  };
+
+  /// The channels the header of `m` may enter next; empty if the message is
+  /// at its destination / not applicable.
+  [[nodiscard]] std::vector<ChannelId> desired_channels(
+      const MessageState& m) const;
+
+  /// Phase 1: advance the clock, tick stalls, and fill requests_. Returns
+  /// whether any pending-time/stall progress occurred.
+  bool compute_requests();
+
+  /// Phase 2: execute header grants, consumption, data shifts, injection.
+  /// `granted[i]` is the channel message i won this cycle (invalid = none).
+  bool execute_moves(const std::vector<ChannelId>& granted);
+
+  /// Loads the per-hop stall counter on first want of a hop; returns true
+  /// while the stall is still ticking (counts as progress).
+  bool tick_stall(MessageState& m, std::size_t hop);
+
+  void acquire(MessageId id, MessageState& m, ChannelId c);
+  void note_exit(MessageState& m, std::size_t path_index);
+  void emit(const std::string& text);
+  [[nodiscard]] bool emitting() const;
+  void check_invariants() const;
+
+  /// Unified adaptive view of the routing relation; oblivious constructors
+  /// share an ObliviousAsAdaptive adapter across simulator copies.
+  const routing::AdaptiveRouting* alg_;
+  std::shared_ptr<const routing::AdaptiveRouting> owned_adapter_;
+  SimConfig config_;
+  const ArbitrationPolicy* policy_;
+
+  Cycle cycle_ = 0;
+  std::vector<MessageState> messages_;
+  std::vector<ChannelState> channels_;
+  std::uint64_t flits_moved_ = 0;
+  EventHook hook_;
+
+  // scratch, reused across cycles
+  std::vector<ChannelRequest> requests_;
+};
+
+/// Finds a cycle among messages blocked on channels owned by other blocked
+/// messages in the given occupancy snapshot; empty if none. Used to report
+/// Definition-6 deadlock cycles and validated against quiescence detection.
+std::vector<MessageId> find_wait_cycle(
+    std::span<const MessageOccupancy> occupancy,
+    const std::function<MessageId(ChannelId)>& owner_of);
+
+}  // namespace wormsim::sim

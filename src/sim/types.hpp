@@ -1,0 +1,45 @@
+// Common simulator value types: message specifications and lifecycle states.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace wormsim::sim {
+
+using Cycle = std::uint64_t;
+
+/// A packet to be injected into the network. The paper treats packet and
+/// message interchangeably; so do we.
+struct MessageSpec {
+  NodeId src;
+  NodeId dst;
+  /// Total flits including the header flit. The paper's deadlock arguments
+  /// use the *minimum* length that lets a message hold all its channels in a
+  /// cycle; arbitrary lengths are supported (Assumption 1).
+  std::uint32_t length = 1;
+  /// Earliest cycle at which injection may be attempted.
+  Cycle release_time = 0;
+  /// Extra cycles the header must wait before acquiring hop i (index 0 = the
+  /// initial channel), *in addition to* any blocking. This models the
+  /// Section-6 clock-skew/delay adversary: a message is stalled even though
+  /// its output channel is available. Missing entries mean zero stall.
+  std::vector<std::uint32_t> hop_stalls;
+};
+
+enum class MessageStatus : std::uint8_t {
+  kPending,    ///< not yet injected (header still at the source)
+  kMoving,     ///< header in the network, not yet at the destination
+  kDelivered,  ///< header consumed by the destination; worm draining
+  kConsumed,   ///< every flit consumed; all channels released
+};
+
+/// Why a simulation run stopped.
+enum class RunOutcome : std::uint8_t {
+  kAllConsumed,  ///< every message fully drained
+  kDeadlock,     ///< quiescent state with undelivered messages
+  kHorizon,      ///< reached the configured cycle limit
+};
+
+}  // namespace wormsim::sim

@@ -1,0 +1,65 @@
+// Synthetic traffic generators for the performance benches.
+//
+// The paper's introduction motivates wormhole routing with its low-load
+// latency and warns about contention cascades at higher loads; the
+// bench_sim_* binaries regenerate those curves on mesh/torus baselines using
+// these standard patterns. Each generator produces an open-loop injection
+// schedule: per node, per cycle, a Bernoulli trial decides whether a message
+// is released (Assumption 1: any rate, any length).
+#pragma once
+
+#include <vector>
+
+#include "sim/types.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace wormsim::sim {
+
+enum class TrafficPattern {
+  kUniformRandom,  ///< destination uniform over all other nodes
+  kTranspose,      ///< (x, y) -> (y, x); defined on square 2-D grids
+  kBitReversal,    ///< reverse the bits of the node index (power-of-2 sizes)
+  kHotspot,        ///< a fraction of traffic targets node 0, rest uniform
+};
+
+struct WorkloadConfig {
+  TrafficPattern pattern = TrafficPattern::kUniformRandom;
+  /// Probability a node injects a new message in a given cycle.
+  double injection_rate = 0.01;
+  std::uint32_t message_length = 8;
+  /// Messages are released over cycles [0, horizon).
+  Cycle horizon = 10'000;
+  /// Fraction of hotspot traffic aimed at the hotspot node (kHotspot only).
+  double hotspot_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the open-loop message set for `grid` under `config`. Messages
+/// are returned sorted by release time; self-addressed trials are skipped.
+std::vector<MessageSpec> generate_workload(const topo::Grid& grid,
+                                           const WorkloadConfig& config);
+
+/// Same for an arbitrary network (kUniformRandom and kHotspot only, since
+/// the permutation patterns need grid coordinates).
+std::vector<MessageSpec> generate_workload(const topo::Network& net,
+                                           const WorkloadConfig& config);
+
+/// Aggregate latency/throughput over a finished simulation. Only messages
+/// delivered by the horizon contribute to latency.
+struct WorkloadStats {
+  std::size_t offered = 0;    ///< messages generated
+  std::size_t delivered = 0;  ///< headers that reached their destination
+  double mean_latency = 0;    ///< inject -> deliver, cycles
+  double max_latency = 0;
+  double throughput_flits_per_cycle = 0;  ///< consumed flits / cycles run
+  double mean_channel_utilization = 0;    ///< busy cycles / run cycles
+  double max_channel_utilization = 0;     ///< the hottest channel's share
+  ChannelId hottest_channel = ChannelId::invalid();
+};
+
+class WormholeSimulator;  // forward declaration (simulator.hpp)
+
+WorkloadStats summarize_workload(const WormholeSimulator& sim, Cycle cycles);
+
+}  // namespace wormsim::sim

@@ -1,0 +1,191 @@
+#include "topo/builders.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+
+namespace wormsim::topo {
+
+std::size_t GridSpec::node_count() const {
+  std::size_t n = 1;
+  for (const int d : dims) {
+    WORMSIM_EXPECTS_MSG(d >= 2, "grid radix must be >= 2");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+namespace {
+
+std::string coord_name(std::span<const int> coords) {
+  std::string name = "(";
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (i != 0) name += ",";
+    name += std::to_string(coords[i]);
+  }
+  name += ")";
+  return name;
+}
+
+}  // namespace
+
+Grid::Grid(GridSpec spec) : spec_(std::move(spec)) {
+  WORMSIM_EXPECTS(!spec_.dims.empty());
+  WORMSIM_EXPECTS(spec_.lanes >= 1);
+
+  // Row-major strides: the last dimension varies fastest.
+  strides_.assign(spec_.dims.size(), 1);
+  for (std::size_t d = spec_.dims.size(); d-- > 1;)
+    strides_[d - 1] =
+        strides_[d] * static_cast<std::size_t>(spec_.dims[d]);
+
+  const std::size_t n = spec_.node_count();
+  std::vector<int> coords(spec_.dims.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    net_.add_node(coord_name(coords));
+    // Advance mixed-radix counter.
+    for (std::size_t d = coords.size(); d-- > 0;) {
+      if (++coords[d] < spec_.dims[d]) break;
+      coords[d] = 0;
+    }
+  }
+
+  // Channels: for every node, a link in the +dir of each dimension (and its
+  // reverse), covering all adjacencies exactly once.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId from{i};
+    const auto c = coords_of(from);
+    for (std::size_t d = 0; d < spec_.dims.size(); ++d) {
+      const bool at_edge = c[d] + 1 == spec_.dims[d];
+      if (at_edge && !spec_.wraparound) continue;
+      const NodeId to = neighbor(from, d, +1);
+      // A 2-node wraparound dimension would duplicate the duplex pair.
+      if (spec_.wraparound && spec_.dims[d] == 2 && c[d] == 1) continue;
+      for (std::uint16_t lane = 0; lane < spec_.lanes; ++lane)
+        net_.add_duplex(from, to, lane);
+    }
+  }
+}
+
+NodeId Grid::node_at(std::span<const int> coords) const {
+  WORMSIM_EXPECTS(coords.size() == spec_.dims.size());
+  std::size_t idx = 0;
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    WORMSIM_EXPECTS(coords[d] >= 0 && coords[d] < spec_.dims[d]);
+    idx += static_cast<std::size_t>(coords[d]) * strides_[d];
+  }
+  return NodeId{idx};
+}
+
+std::vector<int> Grid::coords_of(NodeId n) const {
+  WORMSIM_EXPECTS(n.valid() && n.index() < net_.node_count());
+  std::vector<int> coords(spec_.dims.size());
+  std::size_t rest = n.index();
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    coords[d] = static_cast<int>(rest / strides_[d]);
+    rest %= strides_[d];
+  }
+  return coords;
+}
+
+int Grid::coord(NodeId n, std::size_t dim) const {
+  WORMSIM_EXPECTS(dim < spec_.dims.size());
+  return static_cast<int>(n.index() / strides_[dim]) % spec_.dims[dim];
+}
+
+NodeId Grid::neighbor(NodeId n, std::size_t dim, int dir) const {
+  WORMSIM_EXPECTS(dim < spec_.dims.size());
+  WORMSIM_EXPECTS(dir == 1 || dir == -1);
+  auto coords = coords_of(n);
+  int c = coords[dim] + dir;
+  if (spec_.wraparound) {
+    c = (c + spec_.dims[dim]) % spec_.dims[dim];
+  } else if (c < 0 || c >= spec_.dims[dim]) {
+    return NodeId::invalid();
+  }
+  coords[dim] = c;
+  return node_at(coords);
+}
+
+ChannelId Grid::link(NodeId n, std::size_t dim, int dir,
+                     std::uint16_t lane) const {
+  const NodeId to = neighbor(n, dim, dir);
+  if (!to.valid()) return ChannelId::invalid();
+  const auto c = net_.find_channel(n, to, lane);
+  return c ? *c : ChannelId::invalid();
+}
+
+int Grid::grid_distance(NodeId a, NodeId b) const {
+  const auto ca = coords_of(a);
+  const auto cb = coords_of(b);
+  int total = 0;
+  for (std::size_t d = 0; d < ca.size(); ++d) {
+    int delta = std::abs(ca[d] - cb[d]);
+    if (spec_.wraparound) delta = std::min(delta, spec_.dims[d] - delta);
+    total += delta;
+  }
+  return total;
+}
+
+Network make_unidirectional_ring(int n, std::uint16_t lanes) {
+  WORMSIM_EXPECTS(n >= 2);
+  Network net;
+  for (int i = 0; i < n; ++i) net.add_node("r" + std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    const NodeId from{static_cast<std::size_t>(i)};
+    const NodeId to{static_cast<std::size_t>((i + 1) % n)};
+    for (std::uint16_t lane = 0; lane < lanes; ++lane)
+      net.add_channel(from, to, lane);
+  }
+  return net;
+}
+
+Network make_bidirectional_ring(int n, std::uint16_t lanes) {
+  WORMSIM_EXPECTS(n >= 2);
+  Network net;
+  for (int i = 0; i < n; ++i) net.add_node("r" + std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    const NodeId a{static_cast<std::size_t>(i)};
+    const NodeId b{static_cast<std::size_t>((i + 1) % n)};
+    if (n == 2 && i == 1) break;  // avoid duplicating the single duplex pair
+    for (std::uint16_t lane = 0; lane < lanes; ++lane) net.add_duplex(a, b, lane);
+  }
+  return net;
+}
+
+Grid make_mesh(std::vector<int> dims, std::uint16_t lanes) {
+  return Grid(GridSpec{std::move(dims), /*wraparound=*/false, lanes});
+}
+
+Grid make_torus(std::vector<int> dims, std::uint16_t lanes) {
+  return Grid(GridSpec{std::move(dims), /*wraparound=*/true, lanes});
+}
+
+Network make_hypercube(int dimensions) {
+  WORMSIM_EXPECTS(dimensions >= 1 && dimensions <= 20);
+  Network net;
+  const std::size_t n = std::size_t{1} << dimensions;
+  for (std::size_t i = 0; i < n; ++i) net.add_node("h" + std::to_string(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dimensions; ++d) {
+      const std::size_t j = i ^ (std::size_t{1} << d);
+      if (j > i) net.add_duplex(NodeId{i}, NodeId{j});
+    }
+  }
+  return net;
+}
+
+Network make_complete(int n) {
+  WORMSIM_EXPECTS(n >= 2);
+  Network net;
+  for (int i = 0; i < n; ++i) net.add_node("k" + std::to_string(i));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j)
+        net.add_channel(NodeId{static_cast<std::size_t>(i)},
+                        NodeId{static_cast<std::size_t>(j)});
+  return net;
+}
+
+}  // namespace wormsim::topo

@@ -1,0 +1,145 @@
+#include "topo/network.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <sstream>
+
+namespace wormsim::topo {
+
+NodeId Network::add_node(std::string name) {
+  const NodeId id{node_names_.size()};
+  if (name.empty()) name = "n" + std::to_string(id.value());
+  WORMSIM_EXPECTS_MSG(!name_to_node_.contains(name), "duplicate node name");
+  name_to_node_.emplace(name, id);
+  node_names_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+ChannelId Network::add_channel(NodeId src, NodeId dst, std::uint16_t lane,
+                               std::string name) {
+  WORMSIM_EXPECTS(src.valid() && src.index() < node_names_.size());
+  WORMSIM_EXPECTS(dst.valid() && dst.index() < node_names_.size());
+  WORMSIM_EXPECTS_MSG(src != dst, "self-loop channels are not meaningful");
+  const ChannelId id{channels_.size()};
+  if (name.empty()) {
+    name = node_names_[src.index()] + "->" + node_names_[dst.index()];
+    if (lane != 0) name += "." + std::to_string(lane);
+  }
+  channels_.push_back(Channel{id, src, dst, lane, std::move(name)});
+  out_[src.index()].push_back(id);
+  in_[dst.index()].push_back(id);
+  return id;
+}
+
+std::pair<ChannelId, ChannelId> Network::add_duplex(NodeId a, NodeId b,
+                                                    std::uint16_t lane) {
+  return {add_channel(a, b, lane), add_channel(b, a, lane)};
+}
+
+NodeId Network::find_node(std::string_view name) const {
+  const auto it = name_to_node_.find(std::string(name));
+  return it == name_to_node_.end() ? NodeId::invalid() : it->second;
+}
+
+std::optional<ChannelId> Network::find_channel(NodeId src, NodeId dst,
+                                               std::uint16_t lane) const {
+  WORMSIM_EXPECTS(src.valid() && src.index() < out_.size());
+  for (const ChannelId c : out_[src.index()]) {
+    const Channel& ch = channels_[c.index()];
+    if (ch.dst == dst && ch.lane == lane) return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Network::nodes() const {
+  std::vector<NodeId> result(node_count());
+  for (std::size_t i = 0; i < result.size(); ++i) result[i] = NodeId{i};
+  return result;
+}
+
+std::vector<ChannelId> Network::channel_ids() const {
+  std::vector<ChannelId> result(channel_count());
+  for (std::size_t i = 0; i < result.size(); ++i) result[i] = ChannelId{i};
+  return result;
+}
+
+std::vector<int> Network::distances_from(NodeId from) const {
+  WORMSIM_EXPECTS(from.valid() && from.index() < node_count());
+  std::vector<int> dist(node_count(), -1);
+  std::deque<NodeId> frontier{from};
+  dist[from.index()] = 0;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop_front();
+    for (const ChannelId c : out_[n.index()]) {
+      const NodeId next = channels_[c.index()].dst;
+      if (dist[next.index()] < 0) {
+        dist[next.index()] = dist[n.index()] + 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+int Network::distance(NodeId a, NodeId b) const {
+  const auto dist = distances_from(a);
+  WORMSIM_EXPECTS(b.valid() && b.index() < dist.size());
+  return dist[b.index()];
+}
+
+bool Network::strongly_connected() const {
+  if (node_count() == 0) return true;
+  const NodeId origin{std::size_t{0}};
+  const auto fwd = distances_from(origin);
+  if (std::any_of(fwd.begin(), fwd.end(), [](int d) { return d < 0; }))
+    return false;
+  // Reverse reachability: BFS over incoming channels.
+  std::vector<char> seen(node_count(), 0);
+  std::deque<NodeId> frontier{origin};
+  seen[origin.index()] = 1;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop_front();
+    for (const ChannelId c : in_[n.index()]) {
+      const NodeId prev = channels_[c.index()].src;
+      if (!seen[prev.index()]) {
+        seen[prev.index()] = 1;
+        ++reached;
+        frontier.push_back(prev);
+      }
+    }
+  }
+  return reached == node_count();
+}
+
+bool Network::is_walk(NodeId from, NodeId to,
+                      std::span<const ChannelId> path) const {
+  NodeId at = from;
+  for (const ChannelId c : path) {
+    if (!c.valid() || c.index() >= channels_.size()) return false;
+    const Channel& ch = channels_[c.index()];
+    if (ch.src != at) return false;
+    at = ch.dst;
+  }
+  return at == to;
+}
+
+std::string Network::to_dot(std::string_view graph_name) const {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n";
+  for (std::size_t i = 0; i < node_names_.size(); ++i)
+    os << "  n" << i << " [label=\"" << node_names_[i] << "\"];\n";
+  for (const Channel& ch : channels_) {
+    os << "  n" << ch.src.value() << " -> n" << ch.dst.value() << " [label=\""
+       << ch.name << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace wormsim::topo

@@ -1,0 +1,120 @@
+// Interconnection-network model (paper Definition 1).
+//
+// An interconnection network is a strongly connected directed multigraph
+// I = G(N, C): vertices are processors/routers, arcs are unidirectional
+// channels. A physical link is represented by one channel per direction; a
+// physical channel carrying multiple virtual channels is represented by one
+// Channel per virtual lane sharing the same (src, dst) endpoints. The channel
+// dependency graph, the simulator and every analysis operate on these
+// Channel objects directly, so "channel" below always means a (possibly
+// virtual) unidirectional channel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/ids.hpp"
+
+namespace wormsim::topo {
+
+/// A unidirectional (virtual) channel c with tail node s(c) and head node
+/// d(c). `lane` distinguishes virtual channels multiplexed over the same
+/// physical link; lane 0 is the only lane of an unmultiplexed link.
+struct Channel {
+  ChannelId id;
+  NodeId src;
+  NodeId dst;
+  std::uint16_t lane = 0;
+  std::string name;  ///< human-readable label for traces and DOT output
+};
+
+/// Directed multigraph of routers and channels. Construction is append-only;
+/// analyses treat a fully built Network as immutable.
+class Network {
+ public:
+  Network() = default;
+
+  /// Adds a router. Names must be unique when non-empty; an empty name is
+  /// auto-generated as "n<i>".
+  NodeId add_node(std::string name = {});
+
+  /// Adds a unidirectional channel src -> dst. An empty name is generated as
+  /// "<src>-><dst>[.lane]".
+  ChannelId add_channel(NodeId src, NodeId dst, std::uint16_t lane = 0,
+                        std::string name = {});
+
+  /// Adds a channel in each direction between a and b; returns {a->b, b->a}.
+  std::pair<ChannelId, ChannelId> add_duplex(NodeId a, NodeId b,
+                                             std::uint16_t lane = 0);
+
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+
+  [[nodiscard]] const Channel& channel(ChannelId c) const {
+    WORMSIM_EXPECTS(c.valid() && c.index() < channels_.size());
+    return channels_[c.index()];
+  }
+  [[nodiscard]] const std::string& node_name(NodeId n) const {
+    WORMSIM_EXPECTS(n.valid() && n.index() < node_names_.size());
+    return node_names_[n.index()];
+  }
+
+  /// Channels whose tail is `n` (candidate output channels of router n).
+  [[nodiscard]] std::span<const ChannelId> channels_from(NodeId n) const {
+    WORMSIM_EXPECTS(n.valid() && n.index() < out_.size());
+    return out_[n.index()];
+  }
+  /// Channels whose head is `n` (input channels of router n).
+  [[nodiscard]] std::span<const ChannelId> channels_into(NodeId n) const {
+    WORMSIM_EXPECTS(n.valid() && n.index() < in_.size());
+    return in_[n.index()];
+  }
+
+  /// Looks up a node by name. Returns invalid id if absent.
+  [[nodiscard]] NodeId find_node(std::string_view name) const;
+
+  /// First channel src -> dst on `lane`, if any.
+  [[nodiscard]] std::optional<ChannelId> find_channel(
+      NodeId src, NodeId dst, std::uint16_t lane = 0) const;
+
+  /// All node ids, 0..node_count-1 (dense).
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+  /// All channel ids, 0..channel_count-1 (dense).
+  [[nodiscard]] std::vector<ChannelId> channel_ids() const;
+
+  /// Hop distance from `from` to every node following channel directions
+  /// (BFS). Unreachable nodes get -1. Lane multiplicity does not affect
+  /// distance.
+  [[nodiscard]] std::vector<int> distances_from(NodeId from) const;
+
+  /// Length of a shortest directed path from a to b in hops, or -1.
+  [[nodiscard]] int distance(NodeId a, NodeId b) const;
+
+  /// Definition 1 requires strong connectivity; builders of partial example
+  /// networks may fall short, so this is a checker rather than an enforced
+  /// invariant.
+  [[nodiscard]] bool strongly_connected() const;
+
+  /// Validates that `path` is a contiguous channel walk starting at `from`
+  /// and ending at `to`.
+  [[nodiscard]] bool is_walk(NodeId from, NodeId to,
+                             std::span<const ChannelId> path) const;
+
+  /// Graphviz dot rendering (channels as directed edges, lanes annotated).
+  [[nodiscard]] std::string to_dot(std::string_view graph_name = "net") const;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<Channel> channels_;
+  std::vector<std::vector<ChannelId>> out_;
+  std::vector<std::vector<ChannelId>> in_;
+  std::unordered_map<std::string, NodeId> name_to_node_;
+};
+
+}  // namespace wormsim::topo

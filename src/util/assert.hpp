@@ -1,0 +1,48 @@
+// Contract-checking macros used throughout wormsim.
+//
+// These are *always on* (including release builds): the library's purpose is
+// correctness analysis of routing algorithms, so a silently violated invariant
+// is worse than the few nanoseconds a branch costs. Violations abort with a
+// source location and message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wormsim::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const char* msg) {
+  std::fprintf(stderr, "wormsim %s failure: (%s) at %s:%d%s%s\n", kind, expr,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace wormsim::util
+
+// Precondition on public API arguments.
+#define WORMSIM_EXPECTS(cond)                                                \
+  ((cond) ? (void)0                                                         \
+          : ::wormsim::util::contract_failure("precondition", #cond,        \
+                                              __FILE__, __LINE__, nullptr))
+
+#define WORMSIM_EXPECTS_MSG(cond, msg)                                      \
+  ((cond) ? (void)0                                                         \
+          : ::wormsim::util::contract_failure("precondition", #cond,        \
+                                              __FILE__, __LINE__, (msg)))
+
+// Internal invariant / postcondition.
+#define WORMSIM_ASSERT(cond)                                                 \
+  ((cond) ? (void)0                                                         \
+          : ::wormsim::util::contract_failure("invariant", #cond, __FILE__, \
+                                              __LINE__, nullptr))
+
+#define WORMSIM_ASSERT_MSG(cond, msg)                                       \
+  ((cond) ? (void)0                                                         \
+          : ::wormsim::util::contract_failure("invariant", #cond, __FILE__, \
+                                              __LINE__, (msg)))
+
+#define WORMSIM_UNREACHABLE(msg)                                             \
+  ::wormsim::util::contract_failure("unreachable", "false", __FILE__,        \
+                                    __LINE__, (msg))

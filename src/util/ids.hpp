@@ -1,0 +1,64 @@
+// Strongly typed integer identifiers.
+//
+// The analysis code juggles node indices, channel indices, virtual-channel
+// indices and message indices simultaneously; making each its own type turns
+// an entire class of index-confusion bugs into compile errors (Core
+// Guidelines I.4 / ES.1).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace wormsim {
+
+/// CRTP-free strong integer id. `Tag` makes distinct instantiations
+/// non-convertible. The raw value is a dense array index by convention.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel "no id" value.
+  static constexpr StrongId invalid() { return StrongId{}; }
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+  constexpr explicit StrongId(std::size_t v)
+      : value_(static_cast<value_type>(v)) {}
+  constexpr explicit StrongId(int v) : value_(static_cast<value_type>(v)) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+  value_type value_ = kInvalid;
+};
+
+struct NodeTag {};
+struct ChannelTag {};
+struct MessageTag {};
+
+/// A processor / router in the interconnection network (Definition 1).
+using NodeId = StrongId<NodeTag>;
+/// A unidirectional (virtual) channel; vertices of the CDG.
+using ChannelId = StrongId<ChannelTag>;
+/// A packet in flight (the paper treats packet == message).
+using MessageId = StrongId<MessageTag>;
+
+}  // namespace wormsim
+
+template <typename Tag>
+struct std::hash<wormsim::StrongId<Tag>> {
+  std::size_t operator()(const wormsim::StrongId<Tag>& id) const noexcept {
+    return std::hash<typename wormsim::StrongId<Tag>::value_type>{}(
+        id.value());
+  }
+};

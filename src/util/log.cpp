@@ -1,0 +1,25 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace wormsim::util {
+
+namespace {
+void default_sink(LogLevel lvl, std::string_view msg) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN"};
+  const auto idx = static_cast<int>(lvl);
+  if (idx < 0 || idx > 3) return;
+  std::fprintf(stderr, "[%s] %.*s\n", kNames[idx], static_cast<int>(msg.size()),
+               msg.data());
+}
+}  // namespace
+
+std::atomic<int> Log::level_{static_cast<int>(LogLevel::Warn)};
+Log::Sink Log::sink_ = &default_sink;
+
+void Log::write(LogLevel lvl, std::string_view msg) {
+  if (!enabled(lvl)) return;
+  sink_(lvl, msg);
+}
+
+}  // namespace wormsim::util

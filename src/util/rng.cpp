@@ -1,0 +1,9 @@
+#include "util/rng.hpp"
+
+// Header-only in practice; this TU exists so the library has a concrete
+// object file and the header stays self-testing via the unit suite.
+namespace wormsim::util {
+namespace {
+[[maybe_unused]] constexpr int kRngTranslationUnitAnchor = 0;
+}  // namespace
+}  // namespace wormsim::util

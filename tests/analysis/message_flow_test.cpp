@@ -1,0 +1,121 @@
+// Mechanizes the paper's Section-2 discussion of the Lin–McKinley–Ni
+// message-flow model: it proves the classical algorithms deadlock-free, but
+// on the Cyclic Dependency algorithm the backward induction has "no
+// starting point" inside the ring — the model is inconclusive on exactly
+// the class of algorithms the paper studies, while the exhaustive search
+// decides them.
+#include "analysis/message_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cdg/cdg.hpp"
+#include "core/cyclic_family.hpp"
+#include "routing/dor.hpp"
+#include "routing/node_table.hpp"
+#include "topo/builders.hpp"
+
+namespace wormsim::analysis {
+namespace {
+
+TEST(MessageFlow, ProvesDorMeshDeadlockFree) {
+  const topo::Grid grid = topo::make_mesh({4, 4});
+  const routing::DimensionOrderMesh dor(grid);
+  const auto result = message_flow_analysis(dor);
+  EXPECT_TRUE(result.proves_deadlock_free);
+  EXPECT_TRUE(result.non_immune.empty());
+  EXPECT_GT(result.used_channels, 0u);
+}
+
+TEST(MessageFlow, ProvesTorusDatelineDeadlockFree) {
+  const topo::Grid grid = topo::make_torus({4, 4}, 2);
+  const routing::TorusDateline dor(grid);
+  EXPECT_TRUE(message_flow_analysis(dor).proves_deadlock_free);
+}
+
+TEST(MessageFlow, ProvesTurnModelsDeadlockFree) {
+  const topo::Grid grid = topo::make_mesh({4, 4});
+  for (const auto model :
+       {routing::TurnModel2D::kWestFirst, routing::TurnModel2D::kNorthLast,
+        routing::TurnModel2D::kNegativeFirst}) {
+    const routing::TurnModelMesh alg(grid, model);
+    EXPECT_TRUE(message_flow_analysis(alg).proves_deadlock_free);
+  }
+}
+
+TEST(MessageFlow, CannotProveUnidirectionalRing) {
+  // Correctly fails on a genuinely deadlockable algorithm.
+  const topo::Network net = topo::make_unidirectional_ring(4);
+  routing::NodeTable table(net);
+  for (std::size_t s = 0; s < 4; ++s)
+    for (std::size_t d = 0; d < 4; ++d)
+      if (s != d)
+        table.set(NodeId{s}, NodeId{d},
+                  *net.find_channel(NodeId{s}, NodeId{(s + 1) % 4}));
+  const auto result = message_flow_analysis(table);
+  EXPECT_FALSE(result.proves_deadlock_free);
+}
+
+TEST(MessageFlow, InconclusiveOnFigureOne) {
+  // The paper's critique: Figure 1 IS deadlock-free (the search proves it),
+  // yet the message-flow model cannot show it.
+  const core::CyclicFamily family(core::fig1_spec());
+  const auto result = message_flow_analysis(family.algorithm());
+  EXPECT_FALSE(result.proves_deadlock_free);
+}
+
+TEST(MessageFlow, StuckChannelsAreTheRingAndItsFeeders) {
+  // "The channels in an unreachable configuration form a cycle. Hence,
+  // there seems to be no starting point": every ring channel is stuck, and
+  // (immunity propagates backward) so is every channel feeding the ring —
+  // c_s and the access arms — but nothing else: every stuck channel lies on
+  // some ring message's route.
+  const core::CyclicFamily family(core::fig1_spec());
+  const auto result = message_flow_analysis(family.algorithm());
+  ASSERT_FALSE(result.non_immune.empty());
+
+  std::unordered_set<std::uint32_t> stuck;
+  for (const ChannelId c : result.non_immune) stuck.insert(c.value());
+  for (const ChannelId c : family.ring())
+    EXPECT_TRUE(stuck.contains(c.value()))
+        << family.net().channel(c).name << " unexpectedly immune";
+  EXPECT_TRUE(stuck.contains(family.shared_channel().value()));
+
+  for (const ChannelId c : result.non_immune) {
+    bool on_some_route = false;
+    for (const auto& info : family.messages())
+      if (std::find(info.path.begin(), info.path.end(), c) !=
+          info.path.end())
+        on_some_route = true;
+    EXPECT_TRUE(on_some_route)
+        << "stuck channel off every ring route: "
+        << family.net().channel(c).name;
+  }
+}
+
+TEST(MessageFlow, HubCompletionSpreadsTheContamination) {
+  // Conservatism of the per-channel induction: under hub completion every
+  // x->N* channel depends on the (non-immune) arm channels N*->P_i, so the
+  // stuck set grows even though the added routes are harmless.
+  const core::CyclicFamily bare(core::fig1_spec(false));
+  const core::CyclicFamily hub(core::fig1_spec(true));
+  const auto bare_result = message_flow_analysis(bare.algorithm());
+  const auto hub_result = message_flow_analysis(hub.algorithm());
+  EXPECT_GT(hub_result.non_immune.size(), bare_result.non_immune.size());
+  EXPECT_GT(hub_result.used_channels, bare_result.used_channels);
+  EXPECT_FALSE(hub_result.proves_deadlock_free);
+}
+
+TEST(MessageFlow, EquivalentToAcyclicCdgOnTheExercisedSubgraph) {
+  // The per-channel dependency relation is exactly the CDG edge relation,
+  // so the message-flow proof succeeds iff no exercised channel reaches a
+  // CDG cycle — sufficient-only, as the paper observes.
+  const core::CyclicFamily family(core::fig1_spec());
+  const auto graph = cdg::ChannelDependencyGraph::build(family.algorithm());
+  const auto result = message_flow_analysis(family.algorithm());
+  EXPECT_EQ(result.proves_deadlock_free, graph.acyclic());
+}
+
+}  // namespace
+}  // namespace wormsim::analysis

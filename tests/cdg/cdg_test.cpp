@@ -1,0 +1,182 @@
+#include "cdg/cdg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/node_table.hpp"
+#include "routing/table_routing.hpp"
+#include "topo/builders.hpp"
+
+namespace wormsim::cdg {
+namespace {
+
+/// Unidirectional ring routed the only possible way — the canonical cyclic
+/// CDG from Dally & Seitz.
+class RingCdgTest : public ::testing::Test {
+ protected:
+  RingCdgTest()
+      : net_(topo::make_unidirectional_ring(4)), table_(net_) {
+    for (std::size_t s = 0; s < 4; ++s)
+      for (std::size_t d = 0; d < 4; ++d)
+        if (s != d)
+          table_.set(NodeId{s}, NodeId{d},
+                     *net_.find_channel(NodeId{s}, NodeId{(s + 1) % 4}));
+  }
+  topo::Network net_;
+  routing::NodeTable table_;
+};
+
+TEST_F(RingCdgTest, RingCdgIsOneCycle) {
+  const auto graph = ChannelDependencyGraph::build(table_);
+  EXPECT_FALSE(graph.acyclic());
+  const auto sccs = graph.cyclic_sccs();
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0].size(), 4u);
+  const auto cycles = graph.elementary_cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 4u);
+}
+
+TEST_F(RingCdgTest, NoNumberingForCyclicGraph) {
+  const auto graph = ChannelDependencyGraph::build(table_);
+  EXPECT_FALSE(graph.topological_numbering().has_value());
+}
+
+TEST_F(RingCdgTest, WitnessesIdentifyInducingPairs) {
+  const auto graph = ChannelDependencyGraph::build(table_);
+  const ChannelId c01 = *net_.find_channel(NodeId{0u}, NodeId{1u});
+  const ChannelId c12 = *net_.find_channel(NodeId{1u}, NodeId{2u});
+  ASSERT_TRUE(graph.has_edge(c01, c12));
+  const auto witnesses = graph.witnesses(c01, c12);
+  ASSERT_FALSE(witnesses.empty());
+  for (const Witness& w : witnesses) {
+    // Every witness route must really pass c01 then c12.
+    const auto path = routing::trace_path(table_, w.src, w.dst);
+    ASSERT_TRUE(path.has_value());
+    auto it01 = std::find(path->begin(), path->end(), c01);
+    ASSERT_NE(it01, path->end());
+    ASSERT_NE(it01 + 1, path->end());
+    EXPECT_EQ(*(it01 + 1), c12);
+  }
+}
+
+TEST_F(RingCdgTest, EdgeAbsentForUnrelatedChannels) {
+  const auto graph = ChannelDependencyGraph::build(table_);
+  const ChannelId c01 = *net_.find_channel(NodeId{0u}, NodeId{1u});
+  const ChannelId c23 = *net_.find_channel(NodeId{2u}, NodeId{3u});
+  EXPECT_FALSE(graph.has_edge(c01, c23));
+  EXPECT_TRUE(graph.witnesses(c01, c23).empty());
+}
+
+TEST(CdgAcyclic, LinearChainNumbering) {
+  // a -> b -> c routed end to end: the CDG is a path, trivially acyclic.
+  topo::Network net;
+  const NodeId a = net.add_node(), b = net.add_node(), c = net.add_node();
+  const ChannelId ab = net.add_channel(a, b);
+  const ChannelId bc = net.add_channel(b, c);
+  routing::PathTable table(net);
+  table.add_path({a, c, {ab, bc}});
+  table.add_path({a, b, {ab}});
+  table.add_path({b, c, {bc}});
+  const auto graph = ChannelDependencyGraph::build(table);
+  EXPECT_TRUE(graph.acyclic());
+  EXPECT_EQ(graph.edge_count(), 1u);
+  const auto numbering = graph.topological_numbering();
+  ASSERT_TRUE(numbering.has_value());
+  EXPECT_TRUE(graph.verify_numbering(*numbering));
+  // A wrong numbering must be rejected.
+  std::vector<std::uint32_t> bad(*numbering);
+  std::reverse(bad.begin(), bad.end());
+  EXPECT_FALSE(graph.verify_numbering(bad));
+}
+
+TEST(CdgNumbering, WrongSizeRejected) {
+  topo::Network net;
+  const NodeId a = net.add_node(), b = net.add_node();
+  net.add_channel(a, b);
+  routing::PathTable table(net);
+  const auto graph = ChannelDependencyGraph::build(table);
+  EXPECT_FALSE(graph.verify_numbering(std::vector<std::uint32_t>{}));
+}
+
+TEST(CdgCycles, TwoIndependentCyclesEnumerated) {
+  // Two disjoint 2-node ping-pong routes create two separate 2-cycles.
+  topo::Network net;
+  const NodeId a = net.add_node(), b = net.add_node();
+  const NodeId c = net.add_node(), d = net.add_node();
+  const auto [ab, ba] = net.add_duplex(a, b);
+  const auto [cd, dc] = net.add_duplex(c, d);
+  routing::PathTable table(net);
+  // Nonminimal bouncing paths a->b->a->b etc. are illegal (pass through
+  // destination); instead create cycles via two overlapping routes.
+  const NodeId e = net.add_node();
+  const ChannelId be = net.add_channel(b, e);
+  const ChannelId ea = net.add_channel(e, a);
+  table.add_path({a, e, {ab, be}});
+  table.add_path({b, a, {be, ea}});
+  table.add_path({e, b, {ea, ab}});
+  const NodeId f = net.add_node();
+  const ChannelId df = net.add_channel(d, f);
+  const ChannelId fc = net.add_channel(f, c);
+  table.add_path({c, f, {cd, df}});
+  table.add_path({d, c, {df, fc}});
+  table.add_path({f, d, {fc, cd}});
+  (void)ba;
+  (void)dc;
+
+  const auto graph = ChannelDependencyGraph::build(table);
+  const auto sccs = graph.cyclic_sccs();
+  EXPECT_EQ(sccs.size(), 2u);
+  const auto cycles = graph.elementary_cycles();
+  EXPECT_EQ(cycles.size(), 2u);
+  for (const auto& cycle : cycles) EXPECT_EQ(cycle.size(), 3u);
+}
+
+TEST(CdgCycles, MaxCyclesBoundRespected) {
+  // Complete graph with random-ish routes has many cycles; the enumeration
+  // bound must cap output.
+  const topo::Network net = topo::make_complete(4);
+  routing::NodeTable table(net);
+  for (std::size_t s = 0; s < 4; ++s)
+    for (std::size_t d = 0; d < 4; ++d)
+      if (s != d) {
+        // Route via the successor node to create long chains: s -> s+1 ->
+        // ... -> d.
+        const std::size_t next = (s + 1) % 4;
+        const NodeId hop = next == d ? NodeId{d} : NodeId{next};
+        table.set(NodeId{s}, NodeId{d}, *net.find_channel(NodeId{s}, hop));
+      }
+  const auto graph = ChannelDependencyGraph::build(table);
+  const auto bounded = graph.elementary_cycles(1);
+  EXPECT_LE(bounded.size(), 1u);
+}
+
+TEST(CdgDot, HighlightsCyclicChannels) {
+  const topo::Network net = topo::make_unidirectional_ring(3);
+  routing::NodeTable table(net);
+  for (std::size_t s = 0; s < 3; ++s)
+    for (std::size_t d = 0; d < 3; ++d)
+      if (s != d)
+        table.set(NodeId{s}, NodeId{d},
+                  *net.find_channel(NodeId{s}, NodeId{(s + 1) % 3}));
+  const auto graph = ChannelDependencyGraph::build(table);
+  const std::string dot = graph.to_dot();
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(CdgBuild, RestrictedPairSetOnlyTracesThosePairs) {
+  const topo::Network net = topo::make_unidirectional_ring(4);
+  routing::NodeTable table(net);
+  for (std::size_t s = 0; s < 4; ++s)
+    for (std::size_t d = 0; d < 4; ++d)
+      if (s != d)
+        table.set(NodeId{s}, NodeId{d},
+                  *net.find_channel(NodeId{s}, NodeId{(s + 1) % 4}));
+  const Witness only{NodeId{0u}, NodeId{2u}};
+  const auto graph =
+      ChannelDependencyGraph::build(table, std::span(&only, 1));
+  EXPECT_EQ(graph.edge_count(), 1u);  // 0->1 then 1->2
+  EXPECT_TRUE(graph.acyclic());
+}
+
+}  // namespace
+}  // namespace wormsim::cdg

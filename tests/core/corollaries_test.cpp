@@ -1,0 +1,150 @@
+// Corollaries 1-3 and Theorem 2: input-channel-independent (N x N -> C),
+// suffix-closed, and coherent oblivious algorithms have NO unreachable
+// cyclic configurations — every CDG cycle is a genuine deadlock risk.
+// Property test: generate random algorithms of those classes on several
+// topologies; for every cyclic CDG the reachability search must find a
+// deadlock, and for every acyclic CDG the Dally-Seitz numbering must exist.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analysis/deadlock_search.hpp"
+#include "cdg/cdg.hpp"
+#include "core/analyzer.hpp"
+#include "routing/properties.hpp"
+#include "routing/random_routing.hpp"
+#include "topo/builders.hpp"
+
+namespace wormsim::core {
+namespace {
+
+/// Probe messages tailored to one elementary CDG cycle of a suffix-closed
+/// algorithm: per Theorem 2's proof, each cycle channel gets a message
+/// injected at its tail node (no channels needed outside the cycle), long
+/// enough to hold its in-cycle span.
+std::vector<sim::MessageSpec> cycle_probe(
+    const routing::RoutingAlgorithm& alg,
+    const cdg::ChannelDependencyGraph& graph,
+    const std::vector<ChannelId>& cycle) {
+  std::unordered_set<std::uint32_t> in_cycle;
+  for (const ChannelId c : cycle) in_cycle.insert(c.value());
+
+  std::vector<sim::MessageSpec> specs;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const ChannelId c = cycle[i];
+    const ChannelId next = cycle[(i + 1) % cycle.size()];
+    const auto witnesses = graph.witnesses(c, next);
+    if (witnesses.empty()) continue;
+    const auto& w = witnesses.front();
+    sim::MessageSpec spec;
+    spec.src = alg.net().channel(c).src;
+    spec.dst = w.dst;
+    // Suffix closure: the route from tail(c) to w.dst follows the witness
+    // suffix; size the worm to hold its in-cycle channels.
+    const auto path = routing::trace_path(alg, spec.src, spec.dst);
+    if (!path) continue;
+    std::uint32_t span = 0;
+    for (const ChannelId pc : *path)
+      if (in_cycle.contains(pc.value())) ++span;
+    spec.length = std::max(1u, span);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+struct Topology {
+  const char* name;
+  topo::Network net;
+};
+
+std::vector<Topology> corpus() {
+  std::vector<Topology> nets;
+  nets.push_back({"uniring5", topo::make_unidirectional_ring(5)});
+  nets.push_back({"biring4", topo::make_bidirectional_ring(4)});
+  nets.push_back({"complete4", topo::make_complete(4)});
+  nets.push_back({"hypercube3", topo::make_hypercube(3)});
+  return nets;
+}
+
+class CorollaryTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorollaryTest, RandomTreeRoutingCyclesAreAllReachable) {
+  for (const auto& topo : corpus()) {
+    util::Rng rng(GetParam());
+    const auto alg = routing::random_tree_routing(topo.net, rng);
+    ASSERT_TRUE(routing::is_suffix_closed(*alg)) << topo.name;
+
+    const auto graph = cdg::ChannelDependencyGraph::build(*alg);
+    const auto cycles = graph.elementary_cycles(/*max_cycles=*/40);
+    for (const auto& cycle : cycles) {
+      const auto specs = cycle_probe(*alg, graph, cycle);
+      if (specs.size() < cycle.size()) continue;  // witness gap: skip
+      analysis::SearchLimits limits;
+      limits.max_states = 500'000;
+      const auto result = analysis::find_deadlock(
+          *alg, specs, analysis::AdversaryModel::kSynchronous, limits);
+      EXPECT_TRUE(result.deadlock_found)
+          << topo.name << " seed " << GetParam() << ": a CDG cycle of a "
+          << "suffix-closed algorithm must be reachable (Corollary 2)";
+    }
+  }
+}
+
+TEST_P(CorollaryTest, RandomMinimalRoutingConsistentWithTheorem3) {
+  // Minimal N x N -> C algorithms: every cycle must also be reachable
+  // (Corollary 1 plus Theorem 3's no-unreachable-cycles-for-minimal).
+  for (const auto& topo : corpus()) {
+    util::Rng rng(GetParam() + 1000);
+    const auto alg = routing::random_minimal_routing(topo.net, rng);
+    ASSERT_TRUE(routing::is_minimal(*alg)) << topo.name;
+
+    const auto graph = cdg::ChannelDependencyGraph::build(*alg);
+    for (const auto& cycle : graph.elementary_cycles(40)) {
+      const auto specs = cycle_probe(*alg, graph, cycle);
+      if (specs.size() < cycle.size()) continue;
+      analysis::SearchLimits limits;
+      limits.max_states = 500'000;
+      const auto result = analysis::find_deadlock(
+          *alg, specs, analysis::AdversaryModel::kSynchronous, limits);
+      EXPECT_TRUE(result.deadlock_found)
+          << topo.name << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorollaryTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(Theorem2Constructive, InCycleSharersAlwaysWedge) {
+  // Theorem 2's proof shape on the unidirectional ring: every message can
+  // take its initial cycle channel simultaneously, so the cycle forms.
+  const topo::Network net = topo::make_unidirectional_ring(6);
+  util::Rng rng(7);
+  const auto alg = routing::random_tree_routing(net, rng);
+  const auto graph = cdg::ChannelDependencyGraph::build(*alg);
+  const auto cycles = graph.elementary_cycles();
+  ASSERT_FALSE(cycles.empty());
+  const auto specs = cycle_probe(*alg, graph, cycles.front());
+  ASSERT_EQ(specs.size(), cycles.front().size());
+  const auto result = analysis::find_deadlock(
+      *alg, specs, analysis::AdversaryModel::kSynchronous, {});
+  EXPECT_TRUE(result.deadlock_found);
+}
+
+TEST(CoherentAlgorithms, AcyclicOrReachableNeverUnreachable) {
+  // Corollary 3 consequence via the analyzer: a coherent algorithm's
+  // verdict can never be kFalseResourceCycle.
+  for (const auto& topo : corpus()) {
+    util::Rng rng(99);
+    const auto alg = routing::random_minimal_routing(topo.net, rng);
+    if (!routing::is_coherent(*alg)) continue;
+    AnalyzerOptions options;
+    options.limits.max_states = 500'000;
+    const auto analysis = analyze_algorithm(*alg, options);
+    EXPECT_NE(analysis.verdict, CycleVerdict::kFalseResourceCycle)
+        << topo.name;
+  }
+}
+
+}  // namespace
+}  // namespace wormsim::core

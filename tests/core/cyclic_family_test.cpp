@@ -1,0 +1,134 @@
+#include "core/cyclic_family.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/properties.hpp"
+
+namespace wormsim::core {
+namespace {
+
+TEST(CyclicFamily, Fig1Structure) {
+  const CyclicFamily family(fig1_spec());
+  ASSERT_EQ(family.messages().size(), 4u);
+  // Ring length = sum of segment lengths = 3 + 4 + 3 + 4.
+  EXPECT_EQ(family.ring().size(), 14u);
+  // Access arms: a=2 => c_s + 1 arm channel; a=3 => c_s + 2.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& info = family.messages()[i];
+    const int a = info.params.access;
+    const int h = info.params.hold;
+    // Full path: access channels + segment + the blocking channel.
+    EXPECT_EQ(info.path.size(), static_cast<std::size_t>(a + h + 1));
+    EXPECT_EQ(info.segment.size(), static_cast<std::size_t>(h));
+    EXPECT_EQ(info.path.front(), family.shared_channel());
+    // The blocking channel is the next message's ring entry.
+    EXPECT_EQ(info.blocking, family.messages()[(i + 1) % 4].entry);
+    // Destination is the head of the blocking channel.
+    EXPECT_EQ(family.net().channel(info.blocking).dst, info.dest);
+  }
+}
+
+TEST(CyclicFamily, EachPathIsTheAlgorithmsRoute) {
+  const CyclicFamily family(fig1_spec());
+  for (const auto& info : family.messages()) {
+    const auto path =
+        routing::trace_path(family.algorithm(), info.source, info.dest);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(*path, info.path);
+  }
+}
+
+TEST(CyclicFamily, RingIsAClosedWalk) {
+  const CyclicFamily family(fig1_spec());
+  const auto& net = family.net();
+  const auto& ring = family.ring();
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    EXPECT_EQ(net.channel(ring[i]).dst,
+              net.channel(ring[(i + 1) % ring.size()]).src);
+}
+
+TEST(CyclicFamily, MessagesPassThroughPredecessorsDestination) {
+  // "the message destined for D1 routes through D4; the message destined
+  // for D2 routes through D1; ..." (Section 4).
+  const CyclicFamily family(fig1_spec());
+  const auto& net = family.net();
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& info = family.messages()[i];
+    const NodeId prev_dest = family.messages()[(i + 3) % 4].dest;
+    const auto nodes = routing::nodes_of_path(net, info.source, info.path);
+    EXPECT_NE(std::find(nodes.begin(), nodes.end(), prev_dest), nodes.end());
+  }
+}
+
+TEST(CyclicFamily, MessageSpecsUseMinimumDeadlockLengths) {
+  const CyclicFamily family(fig1_spec());
+  const auto specs = family.message_specs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].length, 3u);  // M1 must hold three channels
+  EXPECT_EQ(specs[1].length, 4u);  // M2 must hold four channels
+  EXPECT_EQ(specs[2].length, 3u);
+  EXPECT_EQ(specs[3].length, 4u);
+  const auto longer = family.message_specs(2);
+  EXPECT_EQ(longer[0].length, 5u);
+}
+
+TEST(CyclicFamily, NonSharingMessageGetsPrivateSource) {
+  CyclicFamilySpec spec;
+  spec.messages = {{2, 3, true}, {3, 4, true}, {2, 2, false}};
+  const CyclicFamily family(spec);
+  const auto& ns = family.messages()[2];
+  EXPECT_NE(ns.source, family.src_node());
+  EXPECT_NE(ns.path.front(), family.shared_channel());
+  EXPECT_EQ(ns.path.size(), 2u + 2u + 1u);
+}
+
+TEST(CyclicFamily, HubCompletionMakesRoutingTotal) {
+  const CyclicFamily family(fig1_spec(/*hub_completion=*/true));
+  const auto report =
+      routing::analyze_properties(family.algorithm(), /*require_total=*/true);
+  EXPECT_TRUE(report.total);
+  EXPECT_TRUE(report.all_paths_terminate);
+  EXPECT_TRUE(family.net().strongly_connected());
+}
+
+TEST(CyclicFamily, AlgorithmIsObliviousButNotCoherent) {
+  // The paper's point: this is oblivious routing (single path per pair),
+  // yet NOT coherent — coherence would contradict Corollary 3.
+  const CyclicFamily family(fig1_spec(/*hub_completion=*/true));
+  const auto report =
+      routing::analyze_properties(family.algorithm(), /*require_total=*/false);
+  EXPECT_FALSE(report.coherent());
+  EXPECT_FALSE(report.suffix_closed);  // Corollary 2 gate
+}
+
+TEST(CyclicFamily, Fig1IsNonminimal) {
+  // With hub completion, Src -> D1 has a 2-hop path via N*, but the Cyclic
+  // Dependency route takes the long way: nonminimal, as Theorem 3 requires.
+  const CyclicFamily family(fig1_spec(/*hub_completion=*/true));
+  EXPECT_FALSE(routing::is_minimal(family.algorithm()));
+}
+
+TEST(CyclicFamilyDeath, RejectsTooFewMessages) {
+  CyclicFamilySpec spec;
+  spec.messages = {{2, 3, true}};
+  EXPECT_DEATH(CyclicFamily{spec}, "at least two");
+}
+
+TEST(CyclicFamilyDeath, RejectsSharedAccessBelowTwo) {
+  CyclicFamilySpec spec;
+  spec.messages = {{1, 3, true}, {2, 3, true}};
+  EXPECT_DEATH(CyclicFamily{spec}, "arm");
+}
+
+TEST(CyclicFamily, GeneralizedK1IsFig1) {
+  const auto g1 = generalized_spec(1);
+  const auto f1 = fig1_spec();
+  ASSERT_EQ(g1.messages.size(), f1.messages.size());
+  for (std::size_t i = 0; i < g1.messages.size(); ++i) {
+    EXPECT_EQ(g1.messages[i].access, f1.messages[i].access);
+    EXPECT_EQ(g1.messages[i].hold, f1.messages[i].hold);
+  }
+}
+
+}  // namespace
+}  // namespace wormsim::core

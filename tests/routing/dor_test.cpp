@@ -1,0 +1,172 @@
+#include "routing/dor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cdg/cdg.hpp"
+#include "routing/properties.hpp"
+
+namespace wormsim::routing {
+namespace {
+
+class DorMeshTest : public ::testing::Test {
+ protected:
+  DorMeshTest() : grid_(topo::make_mesh({4, 4})), dor_(grid_) {}
+  NodeId at(int x, int y) const {
+    const int c[2] = {x, y};
+    return grid_.node_at(c);
+  }
+  topo::Grid grid_;
+  DimensionOrderMesh dor_;
+};
+
+TEST_F(DorMeshTest, RoutesEveryPair) {
+  const auto report = analyze_properties(dor_);
+  EXPECT_TRUE(report.total);
+  EXPECT_TRUE(report.all_paths_terminate);
+}
+
+TEST_F(DorMeshTest, PathsAreMinimal) {
+  EXPECT_TRUE(is_minimal(dor_));
+}
+
+TEST_F(DorMeshTest, CorrectsXBeforeY) {
+  const auto path = trace_path(dor_, at(0, 0), at(2, 2));
+  ASSERT_TRUE(path.has_value());
+  const auto nodes = nodes_of_path(grid_.net(), at(0, 0), *path);
+  // After the first two hops the X coordinate must already be corrected.
+  EXPECT_EQ(grid_.coord(nodes[1], 0), 1);
+  EXPECT_EQ(grid_.coord(nodes[2], 0), 2);
+  EXPECT_EQ(grid_.coord(nodes[2], 1), 0);
+}
+
+TEST_F(DorMeshTest, IsCoherent) {
+  // XY routing is the canonical coherent oblivious algorithm
+  // (Definition 9), so by Corollary 3 its cycles, if any, would deadlock —
+  // and indeed it has none.
+  const auto report = analyze_properties(dor_);
+  EXPECT_TRUE(report.coherent());
+}
+
+TEST_F(DorMeshTest, CdgIsAcyclic) {
+  const auto graph = cdg::ChannelDependencyGraph::build(dor_);
+  EXPECT_TRUE(graph.acyclic());
+  const auto numbering = graph.topological_numbering();
+  ASSERT_TRUE(numbering.has_value());
+  EXPECT_TRUE(graph.verify_numbering(*numbering));
+}
+
+class TorusDatelineTest : public ::testing::Test {
+ protected:
+  TorusDatelineTest() : grid_(topo::make_torus({4, 4}, 2)), dor_(grid_) {}
+  NodeId at(int x, int y) const {
+    const int c[2] = {x, y};
+    return grid_.node_at(c);
+  }
+  topo::Grid grid_;
+  TorusDateline dor_;
+};
+
+TEST_F(TorusDatelineTest, PathsAreMinimalUnderTorusMetric) {
+  for (std::size_t s = 0; s < grid_.net().node_count(); ++s) {
+    for (std::size_t d = 0; d < grid_.net().node_count(); ++d) {
+      if (s == d) continue;
+      const auto path = trace_path(dor_, NodeId{s}, NodeId{d});
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(static_cast<int>(path->size()),
+                grid_.grid_distance(NodeId{s}, NodeId{d}));
+    }
+  }
+}
+
+TEST_F(TorusDatelineTest, WrapPathsStartOnHighLane) {
+  // 3 -> 1 going +x wraps through the 3->0 dateline: the first hop must be
+  // on lane 1, the post-wrap hop on lane 0.
+  const auto path = trace_path(dor_, at(3, 1), at(1, 1));
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ(grid_.net().channel((*path)[0]).lane, 1);
+  EXPECT_EQ(grid_.net().channel((*path)[1]).lane, 0);
+}
+
+TEST_F(TorusDatelineTest, NonWrapPathsStayOnLowLane) {
+  const auto path = trace_path(dor_, at(0, 0), at(2, 0));
+  ASSERT_TRUE(path.has_value());
+  for (const ChannelId c : *path)
+    EXPECT_EQ(grid_.net().channel(c).lane, 0);
+}
+
+TEST_F(TorusDatelineTest, CdgIsAcyclicDespiteWraparound) {
+  // The whole point of Dally–Seitz virtual channels: the torus wraparound
+  // links would close dependency cycles on one lane; the dateline split
+  // breaks them.
+  const auto graph = cdg::ChannelDependencyGraph::build(dor_);
+  EXPECT_TRUE(graph.acyclic());
+}
+
+class TurnModelTest : public ::testing::TestWithParam<TurnModel2D> {
+ protected:
+  TurnModelTest() : grid_(topo::make_mesh({4, 4})) {}
+  topo::Grid grid_;
+};
+
+TEST_P(TurnModelTest, TotalMinimalAndTerminating) {
+  const TurnModelMesh alg(grid_, GetParam());
+  const auto report = analyze_properties(alg);
+  EXPECT_TRUE(report.total);
+  EXPECT_TRUE(report.all_paths_terminate);
+  EXPECT_TRUE(report.minimal);
+}
+
+TEST_P(TurnModelTest, CdgIsAcyclic) {
+  const TurnModelMesh alg(grid_, GetParam());
+  EXPECT_TRUE(cdg::ChannelDependencyGraph::build(alg).acyclic());
+}
+
+TEST_P(TurnModelTest, IsCoherent) {
+  const TurnModelMesh alg(grid_, GetParam());
+  EXPECT_TRUE(analyze_properties(alg).coherent());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TurnModelTest,
+                         ::testing::Values(TurnModel2D::kWestFirst,
+                                           TurnModel2D::kNorthLast,
+                                           TurnModel2D::kNegativeFirst),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case TurnModel2D::kWestFirst: return "WestFirst";
+                             case TurnModel2D::kNorthLast: return "NorthLast";
+                             case TurnModel2D::kNegativeFirst:
+                               return "NegativeFirst";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(TurnModelPaths, WestFirstGoesWestFirst) {
+  const topo::Grid grid = topo::make_mesh({4, 4});
+  const TurnModelMesh alg(grid, TurnModel2D::kWestFirst);
+  const int from_c[2] = {3, 0}, to_c[2] = {1, 2};
+  const auto path =
+      trace_path(alg, grid.node_at(from_c), grid.node_at(to_c));
+  ASSERT_TRUE(path.has_value());
+  const auto nodes = nodes_of_path(grid.net(), grid.node_at(from_c), *path);
+  // The first two hops must be westward (x decreasing).
+  EXPECT_EQ(grid.coord(nodes[1], 0), 2);
+  EXPECT_EQ(grid.coord(nodes[2], 0), 1);
+}
+
+TEST(TurnModelPaths, NegativeFirstOrdersNegativeHops) {
+  const topo::Grid grid = topo::make_mesh({4, 4});
+  const TurnModelMesh alg(grid, TurnModel2D::kNegativeFirst);
+  const int from_c[2] = {2, 2}, to_c[2] = {3, 0};
+  const auto path =
+      trace_path(alg, grid.node_at(from_c), grid.node_at(to_c));
+  ASSERT_TRUE(path.has_value());
+  const auto nodes = nodes_of_path(grid.net(), grid.node_at(from_c), *path);
+  // South (negative y) hops come before the east hop.
+  EXPECT_EQ(grid.coord(nodes[1], 1), 1);
+  EXPECT_EQ(grid.coord(nodes[2], 1), 0);
+  EXPECT_EQ(grid.coord(nodes[3], 0), 3);
+}
+
+}  // namespace
+}  // namespace wormsim::routing

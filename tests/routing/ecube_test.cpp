@@ -1,0 +1,70 @@
+#include "routing/ecube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "cdg/cdg.hpp"
+#include "routing/properties.hpp"
+#include "topo/builders.hpp"
+
+namespace wormsim::routing {
+namespace {
+
+class ECubeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ECubeTest, TotalMinimalCoherent) {
+  const topo::Network net = topo::make_hypercube(GetParam());
+  const ECubeHypercube alg(net);
+  const auto report = analyze_properties(alg);
+  EXPECT_TRUE(report.total);
+  EXPECT_TRUE(report.all_paths_terminate);
+  EXPECT_TRUE(report.minimal);
+  EXPECT_TRUE(report.coherent());
+}
+
+TEST_P(ECubeTest, CdgAcyclicWithCertificate) {
+  const topo::Network net = topo::make_hypercube(GetParam());
+  const ECubeHypercube alg(net);
+  const auto graph = cdg::ChannelDependencyGraph::build(alg);
+  const auto numbering = graph.topological_numbering();
+  ASSERT_TRUE(numbering.has_value());
+  EXPECT_TRUE(graph.verify_numbering(*numbering));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ECubeTest, ::testing::Values(2, 3, 4));
+
+TEST(ECube, CorrectsBitsInIncreasingOrder) {
+  const topo::Network net = topo::make_hypercube(3);
+  const ECubeHypercube alg(net);
+  // 000 -> 111 must route 000 -> 001 -> 011 -> 111.
+  const auto path = trace_path(alg, NodeId{std::size_t{0}},
+                               NodeId{std::size_t{7}});
+  ASSERT_TRUE(path.has_value());
+  const auto nodes = nodes_of_path(net, NodeId{std::size_t{0}}, *path);
+  EXPECT_EQ(nodes[1].index(), 1u);
+  EXPECT_EQ(nodes[2].index(), 3u);
+  EXPECT_EQ(nodes[3].index(), 7u);
+}
+
+TEST(ECube, PathLengthIsHammingDistance) {
+  const topo::Network net = topo::make_hypercube(4);
+  const ECubeHypercube alg(net);
+  for (std::size_t s = 0; s < 16; ++s) {
+    for (std::size_t d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      const auto path = trace_path(alg, NodeId{s}, NodeId{d});
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(path->size(),
+                static_cast<std::size_t>(std::popcount(s ^ d)));
+    }
+  }
+}
+
+TEST(ECubeDeath, RejectsNonHypercube) {
+  const topo::Network ring = topo::make_bidirectional_ring(8);
+  EXPECT_DEATH(ECubeHypercube{ring}, "hypercube");
+}
+
+}  // namespace
+}  // namespace wormsim::routing

@@ -1,0 +1,95 @@
+#include "routing/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/table_routing.hpp"
+#include "topo/builders.hpp"
+
+namespace wormsim::routing {
+namespace {
+
+/// 4-node bidirectional ring fixture with helpers to author path tables.
+class PropertiesTest : public ::testing::Test {
+ protected:
+  PropertiesTest() : net_(topo::make_bidirectional_ring(4)), table_(net_) {}
+
+  NodeId n(std::size_t i) const { return NodeId{i}; }
+  ChannelId chan(std::size_t a, std::size_t b) const {
+    return *net_.find_channel(n(a), n(b));
+  }
+
+  topo::Network net_;
+  PathTable table_;
+};
+
+TEST_F(PropertiesTest, PartialAlgorithmFailsTotality) {
+  table_.add_path({n(0), n(1), {chan(0, 1)}});
+  const auto report = analyze_properties(table_, /*require_total=*/true);
+  EXPECT_FALSE(report.total);
+  const auto lax = analyze_properties(table_, /*require_total=*/false);
+  EXPECT_TRUE(lax.total);
+}
+
+TEST_F(PropertiesTest, MinimalityDetection) {
+  table_.add_path({n(0), n(1), {chan(0, 1)}});
+  EXPECT_TRUE(is_minimal(table_));
+  table_.add_path({n(0), n(2), {chan(0, 3), chan(3, 0), chan(0, 1),
+                                chan(1, 2)}});
+  EXPECT_FALSE(is_minimal(table_));
+}
+
+TEST_F(PropertiesTest, PrefixClosureViolationWhenSubpathMissing) {
+  // Path 0 -> 2 passes through 1, but no route 0 -> 1 exists at all.
+  table_.add_path({n(0), n(2), {chan(0, 1), chan(1, 2)}});
+  EXPECT_FALSE(is_prefix_closed(table_));
+}
+
+TEST_F(PropertiesTest, PrefixClosureViolationWhenSubpathDiffers) {
+  table_.add_path({n(0), n(2), {chan(0, 1), chan(1, 2)}});
+  table_.add_path({n(0), n(1), {chan(0, 3), chan(3, 2), chan(2, 1)}});
+  EXPECT_FALSE(is_prefix_closed(table_));
+}
+
+TEST_F(PropertiesTest, PrefixClosureHolds) {
+  table_.add_path({n(0), n(2), {chan(0, 1), chan(1, 2)}});
+  table_.add_path({n(0), n(1), {chan(0, 1)}});
+  EXPECT_TRUE(is_prefix_closed(table_));
+}
+
+TEST_F(PropertiesTest, SuffixClosureViolationWhenTailDiffers) {
+  table_.add_path({n(0), n(2), {chan(0, 1), chan(1, 2)}});
+  table_.add_path({n(1), n(2), {chan(1, 0), chan(0, 3), chan(3, 2)}});
+  EXPECT_FALSE(is_suffix_closed(table_));
+}
+
+TEST_F(PropertiesTest, SuffixClosureHolds) {
+  table_.add_path({n(0), n(2), {chan(0, 1), chan(1, 2)}});
+  table_.add_path({n(1), n(2), {chan(1, 2)}});
+  EXPECT_TRUE(is_suffix_closed(table_));
+}
+
+TEST_F(PropertiesTest, RevisitDetection) {
+  table_.add_path({n(0), n(1), {chan(0, 3), chan(3, 0), chan(0, 1)}});
+  const auto report = analyze_properties(table_, /*require_total=*/false);
+  EXPECT_TRUE(report.revisits_nodes);
+  EXPECT_FALSE(report.coherent());
+}
+
+TEST_F(PropertiesTest, CoherenceNeedsAllThree) {
+  // A fully closed, minimal, revisit-free fragment is coherent
+  // (Definition 9).
+  table_.add_path({n(0), n(2), {chan(0, 1), chan(1, 2)}});
+  table_.add_path({n(0), n(1), {chan(0, 1)}});
+  table_.add_path({n(1), n(2), {chan(1, 2)}});
+  const auto report = analyze_properties(table_, /*require_total=*/false);
+  EXPECT_TRUE(report.coherent());
+}
+
+TEST_F(PropertiesTest, ViolationMessagesNameThePair) {
+  table_.add_path({n(0), n(2), {chan(0, 1), chan(1, 2)}});
+  const auto report = analyze_properties(table_, /*require_total=*/true);
+  EXPECT_FALSE(report.first_violation.empty());
+}
+
+}  // namespace
+}  // namespace wormsim::routing

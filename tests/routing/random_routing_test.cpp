@@ -1,0 +1,65 @@
+#include "routing/random_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/properties.hpp"
+#include "topo/builders.hpp"
+
+namespace wormsim::routing {
+namespace {
+
+class RandomRoutingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomRoutingTest, TreeRoutingIsTotalTerminatingSuffixClosed) {
+  const topo::Network net = topo::make_bidirectional_ring(6);
+  util::Rng rng(GetParam());
+  const auto alg = random_tree_routing(net, rng);
+  const auto report = analyze_properties(*alg);
+  EXPECT_TRUE(report.total);
+  EXPECT_TRUE(report.all_paths_terminate);
+  // Input-channel independence makes every N x N -> C algorithm
+  // suffix-closed (Definition 8 remark).
+  EXPECT_TRUE(report.suffix_closed);
+  EXPECT_FALSE(report.revisits_nodes);  // tree paths never revisit
+}
+
+TEST_P(RandomRoutingTest, MinimalRoutingIsMinimal) {
+  const topo::Grid grid = topo::make_mesh({3, 3});
+  util::Rng rng(GetParam());
+  const auto alg = random_minimal_routing(grid.net(), rng);
+  const auto report = analyze_properties(*alg);
+  EXPECT_TRUE(report.total);
+  EXPECT_TRUE(report.minimal);
+  EXPECT_TRUE(report.suffix_closed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoutingTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+TEST(RandomRoutingAggregate, TreeRoutingProducesNonMinimalRoutesSomewhere) {
+  const topo::Network net = topo::make_hypercube(3);
+  bool saw_nonminimal = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !saw_nonminimal; ++seed) {
+    util::Rng rng(seed);
+    const auto alg = random_tree_routing(net, rng);
+    if (!is_minimal(*alg)) saw_nonminimal = true;
+  }
+  EXPECT_TRUE(saw_nonminimal);
+}
+
+TEST(RandomRoutingAggregate, DeterministicGivenSeed) {
+  const topo::Network net = topo::make_bidirectional_ring(5);
+  util::Rng rng1(42), rng2(42);
+  const auto a = random_tree_routing(net, rng1);
+  const auto b = random_tree_routing(net, rng2);
+  for (std::size_t s = 0; s < net.node_count(); ++s) {
+    for (std::size_t d = 0; d < net.node_count(); ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(a->initial_channel(NodeId{s}, NodeId{d}),
+                b->initial_channel(NodeId{s}, NodeId{d}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wormsim::routing

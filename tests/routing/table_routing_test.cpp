@@ -1,0 +1,116 @@
+#include "routing/table_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+
+namespace wormsim::routing {
+namespace {
+
+class PathTableTest : public ::testing::Test {
+ protected:
+  PathTableTest() : net_(topo::make_bidirectional_ring(6)), table_(net_) {}
+
+  NodeId n(std::size_t i) const { return NodeId{i}; }
+  ChannelId chan(std::size_t a, std::size_t b) const {
+    return *net_.find_channel(n(a), n(b));
+  }
+
+  topo::Network net_;
+  PathTable table_;
+};
+
+TEST_F(PathTableTest, AddAndQueryPath) {
+  table_.add_path({n(0), n(2), {chan(0, 1), chan(1, 2)}});
+  EXPECT_TRUE(table_.routes(n(0), n(2)));
+  EXPECT_FALSE(table_.routes(n(2), n(0)));
+  EXPECT_EQ(table_.initial_channel(n(0), n(2)), chan(0, 1));
+  EXPECT_EQ(table_.next_channel(chan(0, 1), n(2)), chan(1, 2));
+}
+
+TEST_F(PathTableTest, TracePathReconstructsRoute) {
+  table_.add_path({n(0), n(3), {chan(0, 1), chan(1, 2), chan(2, 3)}});
+  const auto path = trace_path(table_, n(0), n(3));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);
+  EXPECT_EQ(path->front(), chan(0, 1));
+  EXPECT_EQ(path->back(), chan(2, 3));
+}
+
+TEST_F(PathTableTest, NodePathConvenience) {
+  const NodeId nodes[] = {n(5), n(4), n(3)};
+  table_.add_node_path(nodes);
+  EXPECT_TRUE(table_.routes(n(5), n(3)));
+  EXPECT_EQ(table_.initial_channel(n(5), n(3)), chan(5, 4));
+}
+
+TEST_F(PathTableTest, ConsistentOverlappingPathsAccepted) {
+  // Two sources converging on the same channel toward one destination must
+  // continue identically — here they do.
+  table_.add_path({n(0), n(3), {chan(0, 1), chan(1, 2), chan(2, 3)}});
+  table_.add_path({n(1), n(3), {chan(1, 2), chan(2, 3)}});
+  EXPECT_EQ(table_.next_channel(chan(1, 2), n(3)), chan(2, 3));
+}
+
+TEST_F(PathTableTest, NonminimalWalkAccepted) {
+  // Routing functions may be nonminimal (Definition 3).
+  table_.add_path({n(0), n(1), {chan(0, 5), chan(5, 0), chan(0, 1)}});
+  const auto path = trace_path(table_, n(0), n(1));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);
+}
+
+TEST_F(PathTableTest, PathsVisibleForEnumeration) {
+  table_.add_path({n(0), n(2), {chan(0, 1), chan(1, 2)}});
+  table_.add_path({n(2), n(0), {chan(2, 1), chan(1, 0)}});
+  EXPECT_EQ(table_.paths().size(), 2u);
+}
+
+TEST_F(PathTableTest, NodesOfPathListsVisitSequence) {
+  const std::vector<ChannelId> path{chan(0, 1), chan(1, 2)};
+  const auto nodes = nodes_of_path(net_, n(0), path);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{n(0), n(1), n(2)}));
+}
+
+using PathTableDeathTest = PathTableTest;
+
+TEST_F(PathTableDeathTest, RejectsNonWalk) {
+  EXPECT_DEATH(table_.add_path({n(0), n(2), {chan(0, 1), chan(2, 3)}}),
+               "not a contiguous walk");
+}
+
+TEST_F(PathTableDeathTest, RejectsDuplicatePair) {
+  table_.add_path({n(0), n(1), {chan(0, 1)}});
+  EXPECT_DEATH(table_.add_path({n(0), n(1), {chan(0, 5), chan(5, 0),
+                                             chan(0, 1)}}),
+               "duplicate route");
+}
+
+TEST_F(PathTableDeathTest, RejectsRoutingFunctionConflict) {
+  // Both paths pass through channel 1->2 destined for node 3 but then
+  // diverge: R(1->2, 3) would be two-valued.
+  table_.add_path({n(1), n(3), {chan(1, 2), chan(2, 3)}});
+  EXPECT_DEATH(
+      table_.add_path(
+          {n(0), n(3),
+           {chan(0, 1), chan(1, 2), chan(2, 1), chan(1, 2), chan(2, 3)}}),
+      "conflict");
+}
+
+TEST_F(PathTableDeathTest, RejectsPathThroughOwnDestination) {
+  EXPECT_DEATH(
+      table_.add_path({n(0), n(1), {chan(0, 1), chan(1, 2), chan(2, 1)}}),
+      "passes through the destination");
+}
+
+TEST_F(PathTableDeathTest, NextChannelAtDestinationAborts) {
+  table_.add_path({n(0), n(2), {chan(0, 1), chan(1, 2)}});
+  EXPECT_DEATH((void)table_.next_channel(chan(1, 2), n(2)), "consumed");
+}
+
+TEST_F(PathTableDeathTest, UnroutedLookupAborts) {
+  EXPECT_DEATH((void)table_.initial_channel(n(0), n(3)), "no route");
+}
+
+}  // namespace
+}  // namespace wormsim::routing

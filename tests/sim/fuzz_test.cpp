@@ -1,0 +1,82 @@
+// Randomized end-to-end property tests: random topologies, random
+// suffix-closed routing algorithms, random open-loop workloads — run with
+// every structural invariant check enabled. Whatever happens, the run must
+// finish as kAllConsumed or kDeadlock (never a silent livelock), deadlock
+// states must carry a legal Definition-6 configuration with a wait-for
+// cycle, and drained runs must deliver every message.
+#include <gtest/gtest.h>
+
+#include "analysis/configuration.hpp"
+#include "analysis/waitfor.hpp"
+#include "routing/random_routing.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workloads.hpp"
+#include "topo/builders.hpp"
+
+namespace wormsim::sim {
+namespace {
+
+class SimFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimFuzz, RandomRunsPreserveAllInvariants) {
+  util::Rng rng(GetParam());
+
+  // Random topology from a small corpus.
+  topo::Network net = [&]() {
+    switch (rng.below(4)) {
+      case 0: return topo::make_bidirectional_ring(
+          static_cast<int>(rng.range(3, 6)));
+      case 1: return topo::make_unidirectional_ring(
+          static_cast<int>(rng.range(3, 6)));
+      case 2: return topo::make_hypercube(3);
+      default: return topo::make_complete(4);
+    }
+  }();
+  const auto alg = routing::random_tree_routing(net, rng);
+
+  // Random workload.
+  WorkloadConfig workload;
+  workload.injection_rate = 0.02 + rng.uniform() * 0.1;
+  workload.message_length = static_cast<std::uint32_t>(rng.range(1, 6));
+  workload.horizon = 120;
+  workload.seed = GetParam() * 7 + 1;
+  const auto specs = generate_workload(net, workload);
+
+  SimConfig config;
+  config.buffer_depth = static_cast<std::uint32_t>(rng.range(1, 3));
+  config.check_invariants = true;  // every cycle
+  config.max_cycles = 50'000;
+  FifoArbitration policy;
+  WormholeSimulator sim(*alg, config, policy);
+  for (const auto& spec : specs) sim.add_message(spec);
+
+  const auto result = sim.run();
+  ASSERT_NE(result.outcome, RunOutcome::kHorizon)
+      << "livelock: wormhole networks either drain or freeze";
+
+  if (result.outcome == RunOutcome::kAllConsumed) {
+    for (std::size_t i = 0; i < sim.message_count(); ++i)
+      EXPECT_EQ(sim.status(MessageId{i}), MessageStatus::kConsumed);
+    // All channels released.
+    for (const ChannelId c : net.channel_ids()) {
+      EXPECT_FALSE(sim.channel_owner(c).valid());
+      EXPECT_EQ(sim.channel_count(c), 0u);
+    }
+  } else {
+    // Deadlock: the snapshot must be a legal Definition-4 configuration
+    // with a Definition-6 wait-for cycle, agreeing with the PWFG monitor.
+    const auto config_snapshot = analysis::snapshot(sim);
+    const auto legal = analysis::check_legal(config_snapshot, *alg,
+                                             config.buffer_depth);
+    EXPECT_TRUE(legal.legal) << legal.violation;
+    EXPECT_TRUE(analysis::is_deadlock_shaped(config_snapshot, *alg));
+    EXPECT_TRUE(analysis::waitfor_cycle_now(sim));
+    EXPECT_FALSE(result.deadlock_cycle.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace wormsim::sim

@@ -1,0 +1,24 @@
+wormsim_test(sim_tests
+  sim/simulator_test.cpp
+  sim/arbitration_test.cpp
+  sim/deadlock_detect_test.cpp
+  sim/workloads_test.cpp
+  sim/fuzz_test.cpp)
+
+wormsim_test(analysis_tests
+  analysis/configuration_test.cpp
+  analysis/deadlock_search_test.cpp
+  analysis/message_flow_test.cpp
+  analysis/waitfor_test.cpp)
+
+wormsim_test(core_tests
+  core/cyclic_family_test.cpp
+  core/fig1_test.cpp
+  core/fig2_test.cpp
+  core/fig3_test.cpp
+  core/theorems_test.cpp
+  core/corollaries_test.cpp
+  core/generalization_test.cpp
+  core/theorem5_sweep_test.cpp
+  core/duato_test.cpp
+  core/analyzer_test.cpp)

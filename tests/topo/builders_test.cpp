@@ -1,0 +1,126 @@
+#include "topo/builders.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsim::topo {
+namespace {
+
+TEST(Ring, UnidirectionalStructure) {
+  const Network net = make_unidirectional_ring(5);
+  EXPECT_EQ(net.node_count(), 5u);
+  EXPECT_EQ(net.channel_count(), 5u);
+  EXPECT_TRUE(net.strongly_connected());
+  // Going "backwards" takes the long way around.
+  EXPECT_EQ(net.distance(NodeId{0}, NodeId{4}), 4);
+  EXPECT_EQ(net.distance(NodeId{4}, NodeId{0}), 1);
+}
+
+TEST(Ring, UnidirectionalLanes) {
+  const Network net = make_unidirectional_ring(3, 2);
+  EXPECT_EQ(net.channel_count(), 6u);
+  EXPECT_TRUE(net.find_channel(NodeId{0}, NodeId{1}, 1).has_value());
+}
+
+TEST(Ring, BidirectionalShortcuts) {
+  const Network net = make_bidirectional_ring(6);
+  EXPECT_EQ(net.channel_count(), 12u);
+  EXPECT_EQ(net.distance(NodeId{0}, NodeId{5}), 1);
+}
+
+TEST(Ring, TwoNodeBidirectionalHasOneDuplexPair) {
+  const Network net = make_bidirectional_ring(2);
+  EXPECT_EQ(net.channel_count(), 2u);
+  EXPECT_TRUE(net.strongly_connected());
+}
+
+TEST(Mesh, NodeAndChannelCounts) {
+  const Grid grid = make_mesh({3, 4});
+  EXPECT_EQ(grid.net().node_count(), 12u);
+  // Links: (3-1)*4 vertical + 3*(4-1) horizontal = 17 duplex = 34 channels.
+  EXPECT_EQ(grid.net().channel_count(), 34u);
+  EXPECT_TRUE(grid.net().strongly_connected());
+}
+
+TEST(Mesh, CoordinateRoundTrip) {
+  const Grid grid = make_mesh({3, 4});
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      const int coords[2] = {x, y};
+      const NodeId n = grid.node_at(coords);
+      EXPECT_EQ(grid.coords_of(n), (std::vector<int>{x, y}));
+      EXPECT_EQ(grid.coord(n, 0), x);
+      EXPECT_EQ(grid.coord(n, 1), y);
+    }
+  }
+}
+
+TEST(Mesh, NeighborAtBoundaryIsInvalid) {
+  const Grid grid = make_mesh({3, 3});
+  const int corner[2] = {0, 0};
+  const NodeId n = grid.node_at(corner);
+  EXPECT_FALSE(grid.neighbor(n, 0, -1).valid());
+  EXPECT_TRUE(grid.neighbor(n, 0, +1).valid());
+}
+
+TEST(Mesh, LinkFindsChannel) {
+  const Grid grid = make_mesh({2, 2});
+  const int origin[2] = {0, 0};
+  const NodeId n = grid.node_at(origin);
+  const ChannelId c = grid.link(n, 1, +1);
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(grid.net().channel(c).src, n);
+}
+
+TEST(Mesh, GridDistanceIsManhattan) {
+  const Grid grid = make_mesh({4, 4});
+  const int a[2] = {0, 0}, b[2] = {3, 2};
+  EXPECT_EQ(grid.grid_distance(grid.node_at(a), grid.node_at(b)), 5);
+  EXPECT_EQ(grid.net().distance(grid.node_at(a), grid.node_at(b)), 5);
+}
+
+TEST(Torus, WraparoundNeighbors) {
+  const Grid grid = make_torus({4, 4});
+  const int corner[2] = {0, 0};
+  const NodeId n = grid.node_at(corner);
+  const NodeId wrapped = grid.neighbor(n, 0, -1);
+  ASSERT_TRUE(wrapped.valid());
+  EXPECT_EQ(grid.coord(wrapped, 0), 3);
+}
+
+TEST(Torus, DistanceUsesWraparound) {
+  const Grid grid = make_torus({6});
+  const int a[1] = {0}, b[1] = {5};
+  EXPECT_EQ(grid.grid_distance(grid.node_at(a), grid.node_at(b)), 1);
+}
+
+TEST(Torus, TwoLaneChannelCount) {
+  const Grid grid = make_torus({4}, 2);
+  // 4 links, duplex, 2 lanes = 16 channels.
+  EXPECT_EQ(grid.net().channel_count(), 16u);
+}
+
+TEST(Torus, Radix2AvoidsDuplicateDuplex) {
+  const Grid grid = make_torus({2, 2});
+  // Each dimension contributes exactly one duplex pair per row/column.
+  EXPECT_EQ(grid.net().channel_count(), 8u);
+  EXPECT_TRUE(grid.net().strongly_connected());
+}
+
+TEST(Hypercube, StructureAndDiameter) {
+  const Network net = make_hypercube(4);
+  EXPECT_EQ(net.node_count(), 16u);
+  EXPECT_EQ(net.channel_count(), 16u * 4u);  // degree 4, directed
+  EXPECT_TRUE(net.strongly_connected());
+  EXPECT_EQ(net.distance(NodeId{0u}, NodeId{15u}), 4);
+}
+
+TEST(Complete, EveryPairAdjacent) {
+  const Network net = make_complete(5);
+  EXPECT_EQ(net.channel_count(), 20u);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      if (i != j) EXPECT_EQ(net.distance(NodeId{i}, NodeId{j}), 1);
+}
+
+}  // namespace
+}  // namespace wormsim::topo

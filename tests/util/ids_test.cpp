@@ -1,0 +1,49 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace wormsim {
+namespace {
+
+TEST(StrongId, DefaultConstructedIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrips) {
+  const ChannelId c{42u};
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(c.index(), 42u);
+}
+
+TEST(StrongId, ComparisonIsByValue) {
+  EXPECT_LT(NodeId{1u}, NodeId{2u});
+  EXPECT_EQ(NodeId{7u}, NodeId{7u});
+  EXPECT_NE(NodeId{7u}, NodeId{8u});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, ChannelId>);
+  static_assert(!std::is_convertible_v<NodeId, ChannelId>);
+}
+
+TEST(StrongId, HashableInUnorderedContainers) {
+  std::unordered_set<MessageId> set;
+  set.insert(MessageId{1u});
+  set.insert(MessageId{2u});
+  set.insert(MessageId{1u});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(MessageId{2u}));
+}
+
+TEST(StrongId, SizeTAndIntConstructorsAgree) {
+  EXPECT_EQ(NodeId{std::size_t{5}}, NodeId{5});
+  EXPECT_EQ(NodeId{std::size_t{5}}.value(), 5u);
+}
+
+}  // namespace
+}  // namespace wormsim

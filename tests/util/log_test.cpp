@@ -1,0 +1,57 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wormsim::util {
+namespace {
+
+std::string* g_captured = nullptr;
+
+void capture_sink(LogLevel, std::string_view msg) {
+  if (g_captured) g_captured->assign(msg);
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_captured = &captured_;
+    Log::set_sink(&capture_sink);
+    previous_ = Log::level();
+  }
+  void TearDown() override {
+    Log::set_level(previous_);
+    g_captured = nullptr;
+  }
+  std::string captured_;
+  LogLevel previous_ = LogLevel::Warn;
+};
+
+TEST_F(LogTest, MessagesBelowLevelAreSuppressed) {
+  Log::set_level(LogLevel::Warn);
+  WORMSIM_LOG(Debug) << "hidden";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, MessagesAtLevelAreEmitted) {
+  Log::set_level(LogLevel::Debug);
+  WORMSIM_LOG(Debug) << "visible " << 42;
+  EXPECT_EQ(captured_, "visible 42");
+}
+
+TEST_F(LogTest, EnabledMatchesLevel) {
+  Log::set_level(LogLevel::Info);
+  EXPECT_FALSE(Log::enabled(LogLevel::Debug));
+  EXPECT_TRUE(Log::enabled(LogLevel::Info));
+  EXPECT_TRUE(Log::enabled(LogLevel::Warn));
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::Off);
+  WORMSIM_LOG(Warn) << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+}  // namespace
+}  // namespace wormsim::util
