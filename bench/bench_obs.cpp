@@ -1,0 +1,150 @@
+// Observability overhead: the same 8x8-mesh workload with instrumentation
+// off, with the typed trace sink attached, with the legacy string hook, and
+// with metrics attached. The disabled configuration is the acceptance
+// gate — it must track bench_sim_latency's baseline, since every event site
+// costs exactly one branch when nothing is listening.
+//
+// The binary also demonstrates the machine-readable pipeline: after the
+// benchmark run it writes BENCH_obs_overhead.json (a RunReport with an
+// embedded metrics snapshot) next to google-benchmark's own --benchmark_out
+// file. See the `bench_json` target.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
+#include "routing/dor.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workloads.hpp"
+
+using namespace wormsim;
+
+namespace {
+
+enum class Mode { kDisabled, kTraceBuffer, kLegacyHook, kMetrics };
+
+constexpr sim::Cycle kHorizon = 4'000;
+constexpr sim::Cycle kDrain = 30'000;
+constexpr double kRate = 3000e-6;
+
+std::vector<sim::MessageSpec> mesh_specs(const topo::Grid& grid) {
+  sim::WorkloadConfig config;
+  config.pattern = sim::TrafficPattern::kUniformRandom;
+  config.injection_rate = kRate;
+  config.message_length = 8;
+  config.horizon = kHorizon;
+  config.seed = 12345;
+  return sim::generate_workload(grid, config);
+}
+
+void run_mode(benchmark::State& state, Mode mode) {
+  const topo::Grid grid = topo::make_mesh({8, 8});
+  const routing::DimensionOrderMesh dor(grid);
+  const auto specs = mesh_specs(grid);
+
+  sim::FifoArbitration policy;
+  sim::SimConfig sim_config;
+  sim_config.buffer_depth = 2;
+  sim_config.max_cycles = kDrain;
+
+  std::size_t events = 0;
+  std::uint64_t legacy_lines = 0;
+  for (auto _ : state) {
+    sim::WormholeSimulator simulator(dor, sim_config, policy);
+    for (const auto& spec : specs) simulator.add_message(spec);
+    obs::TraceBuffer buffer;
+    obs::MetricsRegistry registry;
+    switch (mode) {
+      case Mode::kDisabled:
+        break;
+      case Mode::kTraceBuffer:
+        simulator.set_trace_sink(&buffer);
+        break;
+      case Mode::kLegacyHook:
+        simulator.set_event_hook(
+            [&legacy_lines](sim::Cycle, const std::string&) {
+              ++legacy_lines;
+            });
+        break;
+      case Mode::kMetrics:
+        simulator.attach_metrics(registry);
+        break;
+    }
+    const auto result = simulator.run();
+    if (mode == Mode::kMetrics) simulator.finalize_metrics();
+    events = buffer.size();
+    double sink = static_cast<double>(result.cycles);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["offered"] = static_cast<double>(specs.size());
+  if (mode == Mode::kTraceBuffer)
+    state.counters["events"] = static_cast<double>(events);
+  if (mode == Mode::kLegacyHook)
+    state.counters["lines"] = static_cast<double>(legacy_lines);
+}
+
+void BM_Obs_Disabled(benchmark::State& state) {
+  run_mode(state, Mode::kDisabled);
+}
+BENCHMARK(BM_Obs_Disabled)->Unit(benchmark::kMillisecond);
+
+void BM_Obs_TraceBuffer(benchmark::State& state) {
+  run_mode(state, Mode::kTraceBuffer);
+}
+BENCHMARK(BM_Obs_TraceBuffer)->Unit(benchmark::kMillisecond);
+
+void BM_Obs_LegacyHook(benchmark::State& state) {
+  run_mode(state, Mode::kLegacyHook);
+}
+BENCHMARK(BM_Obs_LegacyHook)->Unit(benchmark::kMillisecond);
+
+void BM_Obs_Metrics(benchmark::State& state) {
+  run_mode(state, Mode::kMetrics);
+}
+BENCHMARK(BM_Obs_Metrics)->Unit(benchmark::kMillisecond);
+
+/// One instrumented run, timed directly, summarized as a RunReport.
+void write_overhead_report() {
+  const topo::Grid grid = topo::make_mesh({8, 8});
+  const routing::DimensionOrderMesh dor(grid);
+  const auto specs = mesh_specs(grid);
+
+  sim::FifoArbitration policy;
+  sim::SimConfig sim_config;
+  sim_config.buffer_depth = 2;
+  sim_config.max_cycles = kDrain;
+
+  obs::MetricsRegistry registry;
+  sim::WormholeSimulator simulator(dor, sim_config, policy);
+  for (const auto& spec : specs) simulator.add_message(spec);
+  simulator.attach_metrics(registry);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = simulator.run();
+  const auto stop = std::chrono::steady_clock::now();
+  simulator.finalize_metrics();
+
+  obs::RunReport report;
+  report.name = "obs_overhead";
+  report.kind = "bench";
+  report.labels["topology"] = "mesh-8x8";
+  report.labels["routing"] = "dor";
+  report.labels["pattern"] = "uniform";
+  report.values["cycles"] = static_cast<double>(result.cycles);
+  report.values["seconds"] =
+      std::chrono::duration<double>(stop - start).count();
+  report.values["offered"] = static_cast<double>(specs.size());
+  report.metrics = &registry;
+  obs::write_report_file(report);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_overhead_report();
+  return 0;
+}

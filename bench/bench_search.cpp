@@ -36,6 +36,10 @@ void BM_Search_UnidirectionalRing(benchmark::State& state) {
   state.counters["ring"] = n;
   state.counters["states"] = static_cast<double>(result.states_explored);
   state.counters["deadlock"] = result.deadlock_found ? 1.0 : 0.0;
+  state.counters["memo_hit_rate"] = result.profile.memo_hit_rate();
+  state.counters["peak_depth"] =
+      static_cast<double>(result.profile.peak_depth);
+  state.counters["states_per_sec"] = result.profile.states_per_second;
 }
 BENCHMARK(BM_Search_UnidirectionalRing)->Arg(4)->Arg(5)->Arg(6)
     ->Unit(benchmark::kMillisecond);
@@ -58,6 +62,8 @@ void BM_Search_Fig1MessageCount(benchmark::State& state) {
   state.counters["messages"] = static_cast<double>(specs.size());
   state.counters["states"] = static_cast<double>(result.states_explored);
   state.counters["deadlock"] = result.deadlock_found ? 1.0 : 0.0;
+  state.counters["memo_hit_rate"] = result.profile.memo_hit_rate();
+  state.counters["mean_branch"] = result.profile.branch_factor.mean();
 }
 BENCHMARK(BM_Search_Fig1MessageCount)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);

@@ -12,8 +12,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/run_report.hpp"
 #include "routing/dor.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workloads.hpp"
@@ -89,6 +91,48 @@ int main(int argc, char** argv) {
                       ? ""
                       : "  (!did not drain)");
     }
+  }
+
+  // One fully instrumented XY run at moderate load, exported as a
+  // machine-readable record (BENCH_mesh_traffic.json; WORMSIM_BENCH_DIR
+  // redirects it). The embedded metrics snapshot carries the latency, hop
+  // and arbitration-wait histograms for the comparison harness.
+  {
+    sim::WorkloadConfig config;
+    config.pattern = pattern;
+    config.injection_rate = 0.006;
+    config.message_length = length;
+    config.horizon = 3'000;
+    config.seed = 7;
+    const auto specs = sim::generate_workload(grid, config);
+    sim::FifoArbitration policy;
+    sim::SimConfig sim_config;
+    sim_config.buffer_depth = 2;
+    sim_config.max_cycles = 60'000;
+    sim::WormholeSimulator simulator(dor, sim_config, policy);
+    for (const auto& spec : specs) simulator.add_message(spec);
+    obs::MetricsRegistry registry;
+    simulator.attach_metrics(registry);
+    const auto result = simulator.run();
+    simulator.finalize_metrics();
+    const auto stats = sim::summarize_workload(simulator, result.cycles);
+
+    obs::RunReport report;
+    report.name = "mesh_traffic";
+    report.kind = "simulation";
+    report.labels["topology"] =
+        std::to_string(radix) + "x" + std::to_string(radix) + "-mesh";
+    report.labels["routing"] = "xy";
+    report.labels["drained"] =
+        result.outcome == sim::RunOutcome::kAllConsumed ? "yes" : "no";
+    report.values["rate"] = 0.006;
+    report.values["cycles"] = static_cast<double>(result.cycles);
+    report.values["mean_latency"] = stats.mean_latency;
+    report.values["max_latency"] = stats.max_latency;
+    report.values["flits_per_cycle"] = stats.throughput_flits_per_cycle;
+    report.metrics = &registry;
+    if (obs::write_report_file(report))
+      std::printf("# wrote BENCH_mesh_traffic.json\n");
   }
   return 0;
 }

@@ -1,9 +1,12 @@
 #include "analysis/deadlock_search.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <sstream>
 #include <unordered_set>
+
+#include "util/log.hpp"
 
 namespace wormsim::analysis {
 
@@ -129,18 +132,37 @@ DeadlockSearchResult search_core(sim::WormholeSimulator root,
                                  AdversaryModel model,
                                  const SearchLimits& limits) {
   DeadlockSearchResult result;
+  result.profile.branch_factor =
+      obs::Histogram(obs::Histogram::exponential_bounds(1, 4096));
+  const auto started = std::chrono::steady_clock::now();
+  std::uint64_t next_progress_log =
+      limits.progress_log_interval == 0 ? 0 : limits.progress_log_interval;
 
   struct Frame {
     sim::WormholeSimulator sim;
     std::vector<Assignment> branches;
     std::size_t next = 0;
     std::vector<std::uint32_t> spent;
-    std::string label;  ///< choice that led INTO this frame's state
-    std::vector<std::pair<ChannelId, MessageId>> grants;  ///< ditto, raw
+    Assignment entry;  ///< choice that led INTO this frame's state
+    bool is_root = false;
   };
 
   const bool delay_mode = model == AdversaryModel::kBoundedDelay;
   std::unordered_set<std::string> visited;
+
+  // All exits funnel through this so the profile's timing fields are always
+  // filled.
+  auto finish = [&]() -> DeadlockSearchResult&& {
+    result.profile.memo_misses = result.states_explored;
+    const auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - started);
+    result.profile.elapsed_seconds = elapsed.count();
+    result.profile.states_per_second =
+        elapsed.count() > 0
+            ? static_cast<double>(result.states_explored) / elapsed.count()
+            : 0;
+    return std::move(result);
+  };
 
   auto budget_ok = [&](std::span<const std::uint32_t> spent) {
     if (!delay_mode) return true;
@@ -158,12 +180,14 @@ DeadlockSearchResult search_core(sim::WormholeSimulator root,
   // Returns the new frame to push, or nullopt when the state is terminal /
   // already seen. Sets result fields on deadlock.
   auto make_frame = [&](sim::WormholeSimulator&& sim,
-                        std::vector<std::uint32_t> spent, std::string label,
-                        std::vector<std::pair<ChannelId, MessageId>> grants)
+                        std::vector<std::uint32_t> spent, Assignment entry)
       -> std::optional<Frame> {
     std::string key = sim.state_key();
     if (delay_mode) key += spent_suffix(spent);
-    if (!visited.insert(std::move(key)).second) return std::nullopt;
+    if (!visited.insert(std::move(key)).second) {
+      ++result.profile.memo_hits;
+      return std::nullopt;
+    }
     ++result.states_explored;
 
     if (sim.all_consumed()) return std::nullopt;  // safe terminal
@@ -187,35 +211,78 @@ DeadlockSearchResult search_core(sim::WormholeSimulator root,
                           : *std::max_element(spent.begin(), spent.end());
         return std::nullopt;
       }
-      Frame frame{std::move(sim), {},          0, std::move(spent),
-                  std::move(label), std::move(grants)};
+      Frame frame{std::move(sim), {}, 0, std::move(spent), std::move(entry),
+                  false};
       frame.branches.push_back(Assignment{});
+      result.profile.branch_factor.observe(1);
       return frame;
     }
 
     bool truncated = false;
     std::vector<Assignment> branches = enumerate_assignments(
         groups, model, limits.max_branches_per_state, truncated);
-    if (truncated) result.exhausted = false;
+    if (truncated) {
+      result.exhausted = false;
+      ++result.profile.branch_truncations;
+    }
+    result.profile.branch_factor.observe(
+        static_cast<double>(branches.size()));
     return Frame{std::move(sim),   std::move(branches), 0,
-                 std::move(spent), std::move(label),    std::move(grants)};
+                 std::move(spent), std::move(entry),    false};
+  };
+
+  // The deadlock execution: every assignment on the DFS stack (root
+  // excluded) followed by the final choice. Grants are always recorded;
+  // the describe_assignment strings only on request.
+  auto record_witness = [&](std::span<const Frame> stack,
+                            const Assignment* final_choice) {
+    for (const Frame& f : stack) {
+      if (f.is_root) continue;
+      if (limits.build_witness)
+        result.witness.push_back(describe_assignment(net, f.entry));
+      result.witness_grants.push_back(f.entry.grants);
+    }
+    if (final_choice != nullptr) {
+      if (limits.build_witness)
+        result.witness.push_back(describe_assignment(net, *final_choice));
+      result.witness_grants.push_back(final_choice->grants);
+    }
   };
 
   std::vector<Frame> stack;
   if (auto frame = make_frame(std::move(root),
                               std::vector<std::uint32_t>(message_count, 0),
-                              "start", {})) {
+                              Assignment{})) {
+    frame->is_root = true;
     stack.push_back(std::move(*frame));
+    result.profile.peak_depth = 1;
   }
   if (result.deadlock_found) {
-    result.witness.push_back("initial state is frozen");
-    return result;
+    if (limits.build_witness)
+      result.witness.push_back("initial state is frozen");
+    return finish();
   }
 
   while (!stack.empty()) {
     if (result.states_explored >= limits.max_states) {
       result.exhausted = false;
       break;
+    }
+    if (next_progress_log != 0 &&
+        result.states_explored >= next_progress_log) {
+      next_progress_log += limits.progress_log_interval;
+      const auto elapsed = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - started);
+      WORMSIM_LOG(Info) << "deadlock search: "
+                        << result.states_explored << " states, depth "
+                        << stack.size() << ", memo hits "
+                        << result.profile.memo_hits << ", "
+                        << (elapsed.count() > 0
+                                ? static_cast<double>(
+                                      result.states_explored) /
+                                      elapsed.count()
+                                : 0)
+                        << " states/s";
     }
     Frame& frame = stack.back();
     if (frame.next >= frame.branches.size()) {
@@ -227,28 +294,28 @@ DeadlockSearchResult search_core(sim::WormholeSimulator root,
     std::vector<std::uint32_t> child_spent = frame.spent;
     for (const MessageId m : choice.stalled_moving)
       ++child_spent[m.index()];
-    if (!budget_ok(child_spent)) continue;
+    if (!budget_ok(child_spent)) {
+      ++result.profile.budget_prunes;
+      continue;
+    }
 
     sim::WormholeSimulator child(frame.sim);
     child.step_with_grants(choice.grants);
-    std::string label = describe_assignment(net, choice);
 
-    auto next_frame = make_frame(std::move(child), std::move(child_spent),
-                                 std::move(label), choice.grants);
+    auto next_frame =
+        make_frame(std::move(child), std::move(child_spent), choice);
     if (result.deadlock_found) {
-      for (const Frame& f : stack) {
-        if (f.label == "start") continue;
-        result.witness.push_back(f.label);
-        result.witness_grants.push_back(f.grants);
-      }
-      result.witness.push_back(describe_assignment(net, choice));
-      result.witness_grants.push_back(choice.grants);
-      return result;
+      record_witness(stack, &choice);
+      return finish();
     }
-    if (next_frame) stack.push_back(std::move(*next_frame));
+    if (next_frame) {
+      stack.push_back(std::move(*next_frame));
+      result.profile.peak_depth =
+          std::max<std::uint64_t>(result.profile.peak_depth, stack.size());
+    }
   }
 
-  return result;
+  return finish();
 }
 
 }  // namespace

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "analysis/configuration.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace wormsim::analysis {
@@ -54,6 +55,39 @@ struct SearchLimits {
   DelayMetric metric = DelayMetric::kTotal;
   /// Safety valve against pathological branching at a single state.
   std::size_t max_branches_per_state = 4096;
+  /// Build the human-readable witness lines on deadlock. The machine
+  /// witness (witness_grants) is always produced; the strings are pure
+  /// presentation, so long sweeps can turn them off.
+  bool build_witness = true;
+  /// When nonzero, log search progress (states, depth, memo hit rate,
+  /// states/sec) at Info level every this-many explored states.
+  std::uint64_t progress_log_interval = 0;
+};
+
+/// Where the search spent its effort. memo_misses counts unique states
+/// expanded (== states_explored); memo_hits counts transitions into
+/// already-visited states, so hits + misses is the total number of state-key
+/// lookups.
+struct SearchProfile {
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  /// Deepest DFS stack reached (cycles of the longest execution examined).
+  std::uint64_t peak_depth = 0;
+  /// Legal adversary assignments per expanded state.
+  obs::Histogram branch_factor;
+  /// States whose assignment enumeration hit max_branches_per_state.
+  std::uint64_t branch_truncations = 0;
+  /// Child transitions discarded because they exceeded the delay budget.
+  std::uint64_t budget_prunes = 0;
+  double elapsed_seconds = 0;
+  double states_per_second = 0;
+
+  [[nodiscard]] double memo_hit_rate() const {
+    const std::uint64_t lookups = memo_hits + memo_misses;
+    return lookups == 0 ? 0
+                        : static_cast<double>(memo_hits) /
+                              static_cast<double>(lookups);
+  }
 };
 
 struct DeadlockSearchResult {
@@ -67,7 +101,10 @@ struct DeadlockSearchResult {
   std::vector<MessageId> deadlock_cycle;
   std::uint32_t delay_used_total = 0;
   std::uint32_t delay_used_max = 0;
+  /// Search effort profile (always populated).
+  SearchProfile profile;
   /// Human-readable grant trace leading to the deadlock (one line/cycle).
+  /// Empty when SearchLimits::build_witness is false.
   std::vector<std::string> witness;
   /// Machine-replayable witness: the grant assignment of every cycle from
   /// the empty network to the deadlock. Feeding these to

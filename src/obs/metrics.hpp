@@ -1,0 +1,120 @@
+// Structured run metrics: counters, gauges, fixed-bucket histograms.
+//
+// The registry is the machine-readable replacement for the ad-hoc counters
+// scattered across the simulator and search. Instruments are created once
+// (name -> stable reference) and updated on the hot path with plain
+// increments; snapshotting to JSON walks the registry in name order so the
+// output is deterministic.
+//
+// Hot-path discipline: producers hold raw pointers to instruments (nullptr
+// when metrics are off), so a disabled run pays one branch per site —
+// mirroring WORMSIM_LOG. The instruments themselves are not synchronized;
+// one registry belongs to one run on one thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wormsim::obs {
+
+/// Monotonically increasing count of events.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins scalar (utilization fractions, final totals).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-boundary histogram with cumulative-style buckets: an observation v
+/// lands in the first bucket whose upper bound satisfies v <= bound; values
+/// above every bound land in the implicit +Inf overflow bucket. Bounds are
+/// fixed at construction (no rebucketing on the hot path).
+class Histogram {
+ public:
+  Histogram() : Histogram(std::vector<double>{}) {}
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Finite upper bounds (ascending). counts() has one extra entry: the
+  /// overflow bucket.
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+  /// Upper bound of the bucket containing the p-quantile (0 <= p <= 1) of
+  /// the observations — the histogram analogue of a percentile query. For
+  /// observations beyond the last finite bound, returns the observed max.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// `{1, 2, 4, ..., <= limit}` — the standard bounds used for cycle-count
+  /// and branch-factor histograms.
+  static std::vector<double> exponential_bounds(double first, double limit);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Named instruments for one run. References returned by the accessors stay
+/// valid for the registry's lifetime (instruments are heap-allocated and
+/// never removed).
+class MetricsRegistry {
+ public:
+  /// Creates the instrument on first use; subsequent calls with the same
+  /// name return the same object. A name may hold only one instrument kind.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Already-registered instrument, or nullptr.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, min, max, mean, buckets: [...]}}}.
+  /// Bucket upper bounds are numbers; the overflow bucket's "le" is the
+  /// string "+Inf" (JSON has no infinity literal).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Serializes one histogram as the JSON object described in
+/// MetricsRegistry::to_json.
+std::string histogram_to_json(const Histogram& h);
+
+}  // namespace wormsim::obs

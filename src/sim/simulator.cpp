@@ -90,7 +90,8 @@ bool WormholeSimulator::tick_stall(MessageState& m, std::size_t hop) {
   return false;
 }
 
-void WormholeSimulator::note_exit(MessageState& m, std::size_t path_index) {
+void WormholeSimulator::note_exit(MessageId id, MessageState& m,
+                                  std::size_t path_index) {
   ++m.exited[path_index];
   WORMSIM_ASSERT(m.exited[path_index] <= m.spec.length);
   // Release every fully drained prefix channel (tail has passed).
@@ -99,6 +100,9 @@ void WormholeSimulator::note_exit(MessageState& m, std::size_t path_index) {
     ChannelState& ch = channels_[m.path[m.released].index()];
     WORMSIM_ASSERT(ch.count == 0);
     ch.owner = MessageId::invalid();
+    if (tracing())
+      trace_event(make_event(obs::TraceEventKind::kChannelRelease, id,
+                             m.path[m.released]));
     ++m.released;
   }
 }
@@ -109,16 +113,22 @@ void WormholeSimulator::acquire(MessageId id, MessageState& m, ChannelId c) {
   ch.owner = id;
   ch.count = 1;
   ch.transmitted = true;
+  if (instruments_.registry != nullptr && m.waiting)
+    instruments_.arb_wait->observe(
+        static_cast<double>(cycle_ - m.waiting_since));
   m.path.push_back(c);
   m.exited.push_back(0);
   m.stall_loaded = false;
   m.waiting = false;
   ++m.stats.hops;
   ++flits_moved_;
+  if (tracing())
+    trace_event(make_event(obs::TraceEventKind::kChannelAcquire, id, c));
 }
 
 bool WormholeSimulator::compute_requests() {
   ++cycle_;
+  refresh_trace_armed();  // pick up runtime log-level changes
   bool progress = false;
 
   for (ChannelState& ch : channels_) {
@@ -150,10 +160,16 @@ bool WormholeSimulator::compute_requests() {
       m.waiting = true;
       m.waiting_since = cycle_;
     }
+    bool any_free = false;
     for (const ChannelId want : wants)
-      if (!channels_[want.index()].owner.valid())
+      if (!channels_[want.index()].owner.valid()) {
+        any_free = true;
         requests_.push_back(
             ChannelRequest{MessageId{i}, want, m.waiting_since});
+      }
+    if (!any_free && tracing())
+      trace_event(make_event(obs::TraceEventKind::kBlocked, MessageId{i},
+                             wants.front()));
   }
   return progress;
 }
@@ -199,6 +215,8 @@ bool WormholeSimulator::step() {
 
 std::vector<MessageRequests> WormholeSimulator::peek_requests() const {
   WormholeSimulator probe(*this);
+  probe.muted_ = true;  // speculative cycle: no trace output
+  probe.refresh_trace_armed();
   probe.compute_requests();
   std::unordered_map<std::uint32_t, std::size_t> entry_of;
   std::vector<MessageRequests> result;
@@ -296,12 +314,26 @@ bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
         m.status = m.spec.length == 1 ? MessageStatus::kConsumed
                                       : MessageStatus::kDelivered;
         m.stats.deliver_cycle = cycle_;
-        if (m.status == MessageStatus::kConsumed)
+        if (instruments_.registry != nullptr) {
+          instruments_.latency->observe(
+              static_cast<double>(cycle_ - m.stats.inject_cycle));
+          instruments_.hops->observe(static_cast<double>(m.stats.hops));
+        }
+        if (m.status == MessageStatus::kConsumed) {
           m.stats.consume_cycle = cycle_;
-        note_exit(m, m.path.size() - 1);
-        if (emitting())
-          emit("header of m" + std::to_string(i) + " consumed at " +
-               alg_->net().node_name(m.spec.dst));
+          if (instruments_.registry != nullptr)
+            instruments_.consumed->inc();
+        }
+        note_exit(id, m, m.path.size() - 1);
+        if (tracing()) {
+          obs::TraceEvent event =
+              make_event(obs::TraceEventKind::kDelivered, id, leading);
+          event.node = m.spec.dst;
+          trace_event(event);
+          if (m.status == MessageStatus::kConsumed)
+            trace_event(make_event(obs::TraceEventKind::kConsumed, id,
+                                   ChannelId::invalid()));
+        }
         progress = true;
       } else if (granted[i].valid()) {
         const ChannelId next = granted[i];
@@ -310,10 +342,10 @@ bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
         --prev.count;
         const std::size_t prev_index = m.path.size() - 1;
         acquire(id, m, next);
-        note_exit(m, prev_index);
-        if (emitting())
-          emit("m" + std::to_string(i) + " header -> " +
-               alg_->net().channel(next).name);
+        note_exit(id, m, prev_index);
+        if (tracing())
+          trace_event(
+              make_event(obs::TraceEventKind::kHeaderAdvance, id, next));
         progress = true;
       }
     } else if (m.status == MessageStatus::kPending && granted[i].valid()) {
@@ -322,21 +354,25 @@ bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
       m.flits_injected = 1;
       m.status = MessageStatus::kMoving;
       m.stats.inject_cycle = cycle_;
-      if (emitting())
-        emit("m" + std::to_string(i) + " injected into " +
-             alg_->net().channel(first).name);
+      if (instruments_.registry != nullptr) instruments_.injected->inc();
+      if (tracing())
+        trace_event(make_event(obs::TraceEventKind::kInject, id, first));
       progress = true;
     } else if (m.status == MessageStatus::kDelivered) {
       ChannelState& ch = channels_[m.path.back().index()];
       if (ch.count > 0) {
         --ch.count;
         ++m.flits_consumed;
-        note_exit(m, m.path.size() - 1);
+        note_exit(id, m, m.path.size() - 1);
         progress = true;
         if (m.flits_consumed == m.spec.length) {
           m.status = MessageStatus::kConsumed;
           m.stats.consume_cycle = cycle_;
-          if (emitting()) emit("m" + std::to_string(i) + " fully consumed");
+          if (instruments_.registry != nullptr)
+            instruments_.consumed->inc();
+          if (tracing())
+            trace_event(make_event(obs::TraceEventKind::kConsumed, id,
+                                   ChannelId::invalid()));
         }
       }
     }
@@ -353,7 +389,7 @@ bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
         --from.count;
         ++to.count;
         to.transmitted = true;
-        note_exit(m, j - 1);
+        note_exit(id, m, j - 1);
         ++flits_moved_;
         progress = true;
       }
@@ -472,14 +508,68 @@ std::uint64_t WormholeSimulator::channel_busy_cycles(ChannelId c) const {
   return channels_[c.index()].busy_cycles;
 }
 
-void WormholeSimulator::emit(const std::string& text) {
+obs::TraceEvent WormholeSimulator::make_event(obs::TraceEventKind kind,
+                                              MessageId message,
+                                              ChannelId channel) const {
+  obs::TraceEvent event;
+  event.cycle = cycle_;
+  event.kind = kind;
+  event.message = message;
+  event.channel = channel;
+  return event;
+}
+
+void WormholeSimulator::trace_event(const obs::TraceEvent& event) {
+  if (trace_sink_ != nullptr) trace_sink_->on_event(event);
+  const bool legacy = static_cast<bool>(hook_) ||
+                      util::Log::enabled(util::LogLevel::Trace);
+  if (!legacy) return;
+  const std::string text = obs::legacy_text(event, alg_->net());
+  if (text.empty()) return;  // typed-only event kind
   if (hook_) hook_(cycle_, text);
   WORMSIM_LOG(Trace) << "cycle " << cycle_ << ": " << text;
 }
 
-bool WormholeSimulator::emitting() const {
-  return static_cast<bool>(hook_) ||
-         util::Log::enabled(util::LogLevel::Trace);
+void WormholeSimulator::attach_metrics(obs::MetricsRegistry& registry) {
+  instruments_.registry = &registry;
+  instruments_.injected = &registry.counter("sim.messages_injected");
+  instruments_.consumed = &registry.counter("sim.messages_consumed");
+  instruments_.latency = &registry.histogram(
+      "sim.message_latency", obs::Histogram::exponential_bounds(1, 65536));
+  instruments_.hops = &registry.histogram(
+      "sim.message_hops", obs::Histogram::exponential_bounds(1, 1024));
+  std::vector<double> wait_bounds{0};
+  for (const double b : obs::Histogram::exponential_bounds(1, 4096))
+    wait_bounds.push_back(b);
+  instruments_.arb_wait =
+      &registry.histogram("sim.arbitration_wait", std::move(wait_bounds));
+}
+
+void WormholeSimulator::finalize_metrics() {
+  if (instruments_.registry == nullptr) return;
+  obs::MetricsRegistry& registry = *instruments_.registry;
+  registry.gauge("sim.cycles").set(static_cast<double>(cycle_));
+  registry.gauge("sim.flits_moved").set(static_cast<double>(flits_moved_));
+  registry.gauge("sim.messages_total")
+      .set(static_cast<double>(messages_.size()));
+  obs::Histogram& utilization = registry.histogram(
+      "sim.channel_utilization",
+      {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  double total = 0;
+  double busiest = 0;
+  for (const ChannelState& ch : channels_) {
+    const double share =
+        cycle_ == 0 ? 0
+                    : static_cast<double>(ch.busy_cycles) /
+                          static_cast<double>(cycle_);
+    utilization.observe(share);
+    total += share;
+    busiest = std::max(busiest, share);
+  }
+  registry.gauge("sim.channel_utilization_mean")
+      .set(channels_.empty() ? 0 : total /
+                                       static_cast<double>(channels_.size()));
+  registry.gauge("sim.channel_utilization_max").set(busiest);
 }
 
 void WormholeSimulator::check_invariants() const {

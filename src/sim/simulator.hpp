@@ -37,10 +37,13 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/adaptive.hpp"
 #include "routing/routing.hpp"
 #include "sim/arbitration.hpp"
 #include "sim/types.hpp"
+#include "util/log.hpp"
 
 namespace wormsim::sim {
 
@@ -177,9 +180,36 @@ class WormholeSimulator {
   /// numerator; divide by now() for the utilization fraction).
   [[nodiscard]] std::uint64_t channel_busy_cycles(ChannelId c) const;
 
-  /// Event hook for traces/tests: called as (cycle, text).
+  /// Legacy string event hook, kept as a thin adapter over the typed trace
+  /// stream: each legacy-visible typed event (inject / header-advance /
+  /// delivered / consumed) is formatted through obs::legacy_text and
+  /// forwarded as (cycle, text).
   using EventHook = std::function<void(Cycle, const std::string&)>;
-  void set_event_hook(EventHook hook) { hook_ = std::move(hook); }
+  void set_event_hook(EventHook hook) {
+    hook_ = std::move(hook);
+    refresh_trace_armed();
+  }
+
+  /// Typed trace sink; receives every obs::TraceEvent (including blocked /
+  /// channel-acquire / channel-release, which have no legacy string). The
+  /// sink must outlive the simulator or be cleared with nullptr. Disabled
+  /// tracing costs one branch per event site.
+  void set_trace_sink(obs::TraceSink* sink) {
+    trace_sink_ = sink;
+    refresh_trace_armed();
+  }
+
+  /// Registers this run's instruments (message latency, hops, arbitration
+  /// wait histograms; injected/consumed counters) in `registry` and starts
+  /// recording. The registry must outlive the simulator. Disabled metrics
+  /// cost one branch per event site.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+  /// Writes end-of-run gauges (cycles, flits moved, channel-utilization
+  /// mean/max) and the per-channel utilization histogram into the attached
+  /// registry. Call once after run()/stepping finishes; no-op when metrics
+  /// are not attached.
+  void finalize_metrics();
 
  private:
   struct MessageState {
@@ -222,9 +252,31 @@ class WormholeSimulator {
   bool tick_stall(MessageState& m, std::size_t hop);
 
   void acquire(MessageId id, MessageState& m, ChannelId c);
-  void note_exit(MessageState& m, std::size_t path_index);
-  void emit(const std::string& text);
-  [[nodiscard]] bool emitting() const;
+  void note_exit(MessageId id, MessageState& m, std::size_t path_index);
+
+  /// True when any trace consumer is active — the single guard every event
+  /// site checks before constructing a TraceEvent. A cached member bool so
+  /// the all-off fast path is one predictable branch even in congested
+  /// cycles, where the blocked-message site fires for many messages per
+  /// cycle; recomputed whenever a consumer is (un)installed and once per
+  /// cycle (so Trace-level logging toggled mid-run takes effect on the next
+  /// cycle, not mid-cycle).
+  [[nodiscard]] bool tracing() const { return trace_armed_; }
+  void refresh_trace_armed() {
+    trace_armed_ = !muted_ && (trace_sink_ != nullptr || hook_ ||
+                               util::Log::enabled(util::LogLevel::Trace));
+  }
+  /// Dispatches one typed event: to the typed sink verbatim, and to the
+  /// legacy hook / Trace log as the legacy-formatted string (when the event
+  /// kind has one). Out of line and cold: only reached when a consumer is
+  /// attached, keeping the instrumented call sites small in the hot loops.
+#if defined(__GNUC__)
+  [[gnu::cold]]
+#endif
+  void trace_event(const obs::TraceEvent& event);
+  [[nodiscard]] obs::TraceEvent make_event(obs::TraceEventKind kind,
+                                           MessageId message,
+                                           ChannelId channel) const;
   void check_invariants() const;
 
   /// Unified adaptive view of the routing relation; oblivious constructors
@@ -239,6 +291,24 @@ class WormholeSimulator {
   std::vector<ChannelState> channels_;
   std::uint64_t flits_moved_ = 0;
   EventHook hook_;
+  obs::TraceSink* trace_sink_ = nullptr;
+  /// Probe copies (peek_requests) set this so speculative cycles emit
+  /// nothing.
+  bool muted_ = false;
+  /// Cached "any trace consumer active" flag; see tracing().
+  bool trace_armed_ = false;
+
+  /// Raw instrument pointers resolved once by attach_metrics; all null when
+  /// metrics are off, so every hot-path site is a single pointer test.
+  struct Instruments {
+    obs::MetricsRegistry* registry = nullptr;
+    obs::Counter* injected = nullptr;
+    obs::Counter* consumed = nullptr;
+    obs::Histogram* latency = nullptr;
+    obs::Histogram* hops = nullptr;
+    obs::Histogram* arb_wait = nullptr;
+  };
+  Instruments instruments_;
 
   // scratch, reused across cycles
   std::vector<ChannelRequest> requests_;

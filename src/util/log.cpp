@@ -15,11 +15,12 @@ void default_sink(LogLevel lvl, std::string_view msg) {
 }  // namespace
 
 std::atomic<int> Log::level_{static_cast<int>(LogLevel::Warn)};
-Log::Sink Log::sink_ = &default_sink;
+std::atomic<Log::Sink> Log::sink_{&default_sink};
 
 void Log::write(LogLevel lvl, std::string_view msg) {
   if (!enabled(lvl)) return;
-  sink_(lvl, msg);
+  if (const Sink sink = sink_.load(std::memory_order_relaxed))
+    sink(lvl, msg);
 }
 
 }  // namespace wormsim::util

@@ -28,12 +28,16 @@ class Log {
   }
   static bool enabled(LogLevel lvl) { return lvl >= level(); }
 
-  static void set_sink(Sink sink) { sink_ = sink; }
+  /// Thread-safe like set_level: the sink pointer is atomic so a concurrent
+  /// write() observes either the old or the new sink, never a torn value.
+  static void set_sink(Sink sink) {
+    sink_.store(sink, std::memory_order_relaxed);
+  }
   static void write(LogLevel lvl, std::string_view msg);
 
  private:
   static std::atomic<int> level_;
-  static Sink sink_;
+  static std::atomic<Sink> sink_;
 };
 
 /// Stream-style one-shot log statement:

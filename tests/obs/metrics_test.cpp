@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+
+namespace wormsim::obs {
+namespace {
+
+TEST(CounterTest, AccumulatesIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1, 2, 4});
+  // v <= bound lands in that bucket: exactly-on-boundary values go to the
+  // bucket whose le equals the value.
+  h.observe(1);    // bucket le=1
+  h.observe(2);    // bucket le=2
+  h.observe(1.5);  // bucket le=2
+  h.observe(4);    // bucket le=4
+  h.observe(5);    // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);  // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 5);
+}
+
+TEST(HistogramTest, PercentileQueries) {
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10);   // first nonempty bucket
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 50);   // median bucket
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 100);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100);
+}
+
+TEST(HistogramTest, PercentileOfOverflowReturnsObservedMax) {
+  Histogram h({10});
+  h.observe(5);
+  h.observe(1000);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000);
+}
+
+TEST(HistogramTest, PercentileClampsToObservedMaxWithinBucket) {
+  Histogram h({100});
+  h.observe(3);  // single observation, bucket le=100
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 3);
+}
+
+TEST(HistogramTest, EmptyHistogramIsWellDefined) {
+  Histogram h({1, 2});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0);
+}
+
+TEST(HistogramTest, ExponentialBoundsDoubleUpToLimit) {
+  const auto bounds = Histogram::exponential_bounds(1, 16);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1);
+  EXPECT_DOUBLE_EQ(bounds[4], 16);
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("events");
+  a.inc(7);
+  EXPECT_EQ(registry.counter("events").value(), 7u);
+  EXPECT_EQ(registry.find_counter("events"), &a);
+  EXPECT_EQ(registry.find_counter("missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsValidJsonWithAllInstruments) {
+  MetricsRegistry registry;
+  registry.counter("runs").inc(3);
+  registry.gauge("utilization").set(0.75);
+  Histogram& h = registry.histogram("latency", {1, 10, 100});
+  h.observe(5);
+  h.observe(500);
+
+  const std::string snapshot = registry.to_json();
+  const auto parsed = json::parse(snapshot);
+  ASSERT_TRUE(parsed.has_value()) << snapshot;
+
+  const json::Value* runs = parsed->find("counters")->find("runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_DOUBLE_EQ(runs->as_number(), 3);
+
+  const json::Value* util = parsed->find("gauges")->find("utilization");
+  ASSERT_NE(util, nullptr);
+  EXPECT_DOUBLE_EQ(util->as_number(), 0.75);
+
+  const json::Value* lat = parsed->find("histograms")->find("latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->find("count")->as_number(), 2);
+  const auto& buckets = lat->find("buckets")->as_array();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  // Overflow bucket's le is the string "+Inf" and holds the 500.
+  EXPECT_TRUE(buckets[3].find("le")->is_string());
+  EXPECT_EQ(buckets[3].find("le")->as_string(), "+Inf");
+  EXPECT_DOUBLE_EQ(buckets[3].find("count")->as_number(), 1);
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  const std::string escaped = json::escape("a\"b\\c\nd\x01");
+  EXPECT_EQ(escaped, "a\\\"b\\\\c\\nd\\u0001");
+  const auto round_trip = json::parse("\"" + escaped + "\"");
+  ASSERT_TRUE(round_trip.has_value());
+  EXPECT_EQ(round_trip->as_string(), "a\"b\\c\nd\x01");
+}
+
+TEST(JsonTest, ParserRejectsMalformedDocuments) {
+  EXPECT_FALSE(json::parse("{").has_value());
+  EXPECT_FALSE(json::parse("[1,]").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(json::parse("'single'").has_value());
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const auto v = json::parse(
+      R"({"a": [1, 2.5, true, null, "s"], "b": {"c": -3e2}})");
+  ASSERT_TRUE(v.has_value());
+  const auto& a = v->find("a")->as_array();
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 2.5);
+  EXPECT_TRUE(a[2].as_bool());
+  EXPECT_TRUE(a[3].is_null());
+  EXPECT_DOUBLE_EQ(v->find("b")->find("c")->as_number(), -300);
+}
+
+}  // namespace
+}  // namespace wormsim::obs

@@ -1,0 +1,65 @@
+#include "obs/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace wormsim::obs {
+namespace {
+
+TEST(RunReportTest, JsonRoundTripsAllFields) {
+  MetricsRegistry registry;
+  registry.counter("steps").inc(12);
+
+  RunReport report;
+  report.name = "mesh_traffic";
+  report.kind = "simulation";
+  report.values["mean_latency"] = 17.5;
+  report.values["cycles"] = 128;
+  report.labels["topology"] = "mesh-8x8";
+  report.labels["routing"] = "dor";
+  report.metrics = &registry;
+
+  const auto parsed = json::parse(to_json(report));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("name")->as_string(), "mesh_traffic");
+  EXPECT_EQ(parsed->find("kind")->as_string(), "simulation");
+  EXPECT_DOUBLE_EQ(
+      parsed->find("values")->find("mean_latency")->as_number(), 17.5);
+  EXPECT_EQ(parsed->find("labels")->find("topology")->as_string(),
+            "mesh-8x8");
+  const json::Value* metrics = parsed->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->find("counters")->find("steps")->as_number(), 12);
+}
+
+TEST(RunReportTest, OmitsMetricsWhenAbsent) {
+  RunReport report;
+  report.name = "bare";
+  const auto parsed = json::parse(to_json(report));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("metrics"), nullptr);
+}
+
+TEST(RunReportTest, WritesBenchFileToRequestedDirectory) {
+  RunReport report;
+  report.name = "report_file_test";
+  report.values["ok"] = 1;
+  ASSERT_TRUE(write_report_file(report, testing::TempDir()));
+  const std::string path = testing::TempDir() + "/BENCH_report_file_test.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  const auto parsed = json::parse(contents.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->find("values")->find("ok")->as_number(), 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wormsim::obs

@@ -9,7 +9,13 @@ wormsim_test(analysis_tests
   analysis/configuration_test.cpp
   analysis/deadlock_search_test.cpp
   analysis/message_flow_test.cpp
+  analysis/search_profile_test.cpp
   analysis/waitfor_test.cpp)
+
+wormsim_test(obs_tests
+  obs/metrics_test.cpp
+  obs/trace_test.cpp
+  obs/run_report_test.cpp)
 
 wormsim_test(core_tests
   core/cyclic_family_test.cpp
