@@ -4,7 +4,11 @@
 // proofs.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <unordered_set>
+
 #include "analysis/deadlock_search.hpp"
+#include "analysis/state_table.hpp"
 #include "core/cyclic_family.hpp"
 #include "routing/node_table.hpp"
 #include "topo/builders.hpp"
@@ -85,6 +89,130 @@ void BM_Search_DelayBudgetCost(benchmark::State& state) {
 }
 BENCHMARK(BM_Search_DelayBudgetCost)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
     ->Unit(benchmark::kMillisecond);
+
+void BM_Search_Fig1Threads(benchmark::State& state) {
+  // Worker scaling on the Figure-1 x2 safety proof (the largest exhaustion
+  // in the suite). On a 1-CPU container threads > 1 only measure engine
+  // overhead; on real hardware this is the near-linear-scaling bench.
+  const core::CyclicFamily family(core::fig1_spec());
+  const auto base = family.message_specs();
+  std::vector<sim::MessageSpec> specs;
+  specs.insert(specs.end(), base.begin(), base.end());
+  specs.insert(specs.end(), base.begin(), base.end());
+  analysis::SearchLimits limits;
+  limits.threads = static_cast<unsigned>(state.range(0));
+
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(), specs, analysis::AdversaryModel::kSynchronous,
+        limits);
+  }
+  state.counters["threads"] = static_cast<double>(limits.threads);
+  state.counters["states"] = static_cast<double>(result.states_explored);
+  state.counters["exhausted"] = result.exhausted ? 1.0 : 0.0;
+  state.counters["states_per_sec"] = result.profile.states_per_second;
+}
+BENCHMARK(BM_Search_Fig1Threads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Search_DelaySweepThreads(benchmark::State& state) {
+  // minimal_deadlock_delay budget sweep with the chunked-parallel scan:
+  // independent budgets run concurrently, so this scales even when each
+  // single search is small.
+  const core::CyclicFamily family(core::fig1_spec());
+  analysis::SearchLimits limits;
+  limits.threads = static_cast<unsigned>(state.range(0));
+
+  std::optional<std::uint32_t> min_delay;
+  for (auto _ : state) {
+    min_delay = analysis::minimal_deadlock_delay(
+        family.algorithm(), family.message_specs(),
+        analysis::DelayMetric::kTotal, 3, limits);
+  }
+  state.counters["threads"] = static_cast<double>(limits.threads);
+  state.counters["min_delay"] =
+      min_delay ? static_cast<double>(*min_delay) : -1.0;
+}
+BENCHMARK(BM_Search_DelaySweepThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Collects the state keys of every state the Figure-1 x1 exhaustion
+/// visits, so the memoization benchmarks below replay an identical
+/// insert/hit workload against both visited-set implementations.
+std::vector<std::string> collect_fig1_state_keys() {
+  const core::CyclicFamily family(core::fig1_spec());
+  // Real simulator serializations (~250 bytes each) from deterministic runs
+  // of increasing prefix length, with varied 4-byte tails standing in for
+  // the bounded-delay spent vector. Key size and count match what the
+  // search feeds its visited set; the exact bytes are irrelevant.
+  sim::SimConfig config;
+  config.buffer_depth = 1;
+  std::vector<std::string> keys;
+  const auto specs = family.message_specs();
+  for (std::uint32_t prefix = 0; prefix < 64; ++prefix) {
+    sim::WormholeSimulator sim(family.algorithm(), config);
+    for (const auto& spec : specs) sim.add_message(spec);
+    for (std::uint32_t c = 0; c <= prefix && !sim.all_consumed(); ++c)
+      sim.step_with_grants({});
+    std::string key;
+    sim.append_state_key(key);
+    analysis::append_u32(key, prefix);  // vary the tail like spent vectors
+    for (std::uint32_t extra = 0; extra < 511; ++extra) {
+      std::string variant = key;
+      analysis::append_u32(variant, extra * 257u);
+      keys.push_back(std::move(variant));
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+void BM_Memo_LegacyStringSet(benchmark::State& state) {
+  // The pre-StateTable visited path: build a fresh heap std::string per
+  // state (the old engine serialized into a new string every lookup), then
+  // store it in an unordered_set — allocation + node per miss.
+  const auto keys = collect_fig1_state_keys();
+  std::uint64_t unique = 0;
+  for (auto _ : state) {
+    std::unordered_set<std::string> visited;
+    unique = 0;
+    for (int pass = 0; pass < 2; ++pass) {  // second pass: all hits
+      for (const auto& key : keys) {
+        std::string fresh;
+        fresh.append(key);
+        if (visited.insert(std::move(fresh)).second) ++unique;
+      }
+    }
+    benchmark::DoNotOptimize(unique);
+  }
+  state.counters["keys"] = static_cast<double>(keys.size() * 2);
+  state.counters["unique"] = static_cast<double>(unique);
+}
+BENCHMARK(BM_Memo_LegacyStringSet)->Unit(benchmark::kMicrosecond);
+
+void BM_Memo_StateTable(benchmark::State& state) {
+  // Same workload the new way: serialize into one reused scratch buffer
+  // and insert into the arena-backed StateTable (serial: 1 stripe).
+  const auto keys = collect_fig1_state_keys();
+  std::uint64_t unique = 0;
+  for (auto _ : state) {
+    analysis::StateTable visited(1);
+    std::string scratch;
+    unique = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& key : keys) {
+        scratch.clear();
+        scratch.append(key);
+        if (visited.insert(scratch)) ++unique;
+      }
+    }
+    benchmark::DoNotOptimize(unique);
+  }
+  state.counters["keys"] = static_cast<double>(keys.size() * 2);
+  state.counters["unique"] = static_cast<double>(unique);
+}
+BENCHMARK(BM_Memo_StateTable)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -1,11 +1,17 @@
 #include "analysis/deadlock_search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <deque>
+#include <limits>
 #include <numeric>
+#include <optional>
 #include <sstream>
-#include <unordered_set>
+#include <thread>
 
+#include "analysis/state_table.hpp"
+#include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace wormsim::analysis {
@@ -17,76 +23,137 @@ namespace {
 struct Assignment {
   std::vector<std::pair<ChannelId, MessageId>> grants;
   std::vector<MessageId> stalled_moving;
+
+  void clear() {
+    grants.clear();
+    stalled_moving.clear();
+  }
 };
 
-/// Enumerates all legal grant assignments for the cycle's per-message
-/// request sets. A legal assignment gives each requesting message at most
-/// one of its free candidate channels, with all granted channels distinct.
-/// Synchronous model: a *moving* header must take a channel whenever one of
-/// its candidates is left untaken — it may lose every candidate to others
-/// (normal contention) but may not idle beside a free channel; pending
-/// headers may always stay ungranted (the adversary controls generation
-/// times). Delay model: moving headers may additionally idle beside free
-/// candidates, which counts as a stall for the budget.
-std::vector<Assignment> enumerate_assignments(
-    std::span<const sim::MessageRequests> requests, AdversaryModel model,
-    std::size_t max_branches, bool& truncated) {
-  const std::size_t m = requests.size();
-  // Option -1 = skip; otherwise index into the candidate list.
-  std::vector<std::size_t> option_count(m);
-  for (std::size_t i = 0; i < m; ++i)
-    option_count[i] = requests[i].channels.size() + 1;
+/// Channel-indexed "granted this combo" membership with O(1) reset:
+/// membership is stamp equality, so starting a new combo is one counter
+/// increment instead of rebuilding a hash set per combo (which is what the
+/// pre-generator enumeration did). reset() must be called before each
+/// combo's first try_take/contains.
+class TakenSet {
+ public:
+  explicit TakenSet(std::size_t channel_count) : stamp_(channel_count, 0) {}
 
-  std::vector<Assignment> result;
-  std::vector<std::size_t> odometer(m, 0);
-  while (true) {
-    if (result.size() >= max_branches) {
-      truncated = true;
-      return result;
-    }
+  void reset() { ++current_; }
 
-    // Materialize and validate this combo. Option k < |channels| grants
-    // channel k; the LAST option is skip, so depth-first exploration tries
-    // granting before idling (idle-heavy prefixes explode the search).
-    Assignment a;
-    std::unordered_set<std::uint32_t> taken;
-    bool valid = true;
-    const auto is_skip = [&](std::size_t i) {
-      return odometer[i] == requests[i].channels.size();
-    };
-    for (std::size_t i = 0; i < m && valid; ++i) {
-      if (is_skip(i)) continue;
-      const ChannelId c = requests[i].channels[odometer[i]];
-      if (!taken.insert(c.value()).second) valid = false;  // collision
-      else a.grants.emplace_back(c, requests[i].message);
-    }
-    if (valid) {
+  /// Marks `c` taken; returns false when it already was this combo.
+  bool try_take(ChannelId c) {
+    std::uint64_t& s = stamp_[c.index()];
+    if (s == current_) return false;
+    s = current_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(ChannelId c) const {
+    return stamp_[c.index()] == current_;
+  }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t current_ = 0;
+};
+
+/// Lazily enumerates the legal grant assignments for one state's
+/// per-message request sets, one at a time. A legal assignment gives each
+/// requesting message at most one of its free candidate channels, with all
+/// granted channels distinct. Synchronous model: a *moving* header must take
+/// a channel whenever one of its candidates is left untaken — it may lose
+/// every candidate to others (normal contention) but may not idle beside a
+/// free channel; pending headers may always stay ungranted (the adversary
+/// controls generation times). Delay model: moving headers may additionally
+/// idle beside free candidates, which counts as a stall for the budget.
+///
+/// The generator is a mixed-radix odometer over per-message options
+/// (option k < |channels| grants channel k; the LAST option is skip, so
+/// depth-first exploration tries granting before idling — idle-heavy
+/// prefixes explode the search). A DFS frame holds only this cursor, not a
+/// materialized branch vector, so memory stays flat at high branch factors
+/// and each branch is costed only when the DFS actually reaches it.
+class AssignmentGenerator {
+ public:
+  AssignmentGenerator(std::vector<sim::MessageRequests> requests,
+                      AdversaryModel model, std::size_t max_branches)
+      : requests_(std::move(requests)),
+        odometer_(requests_.size(), 0),
+        model_(model),
+        max_branches_(max_branches) {}
+
+  /// Fills `out` with the next legal assignment; returns false when the
+  /// combos are exhausted or the branch cap was hit (see truncated()).
+  /// `taken` is caller-owned scratch, reusable across generators.
+  bool next(Assignment& out, TakenSet& taken) {
+    const std::size_t m = requests_.size();
+    while (!done_) {
+      if (yielded_ >= max_branches_) {
+        truncated_ = true;  // unexplored combos remain beyond the cap
+        return false;
+      }
+      out.clear();
+      taken.reset();
+      bool valid = true;
       for (std::size_t i = 0; i < m && valid; ++i) {
-        if (!is_skip(i) || !requests[i].moving) continue;
-        // A moving skipper: does it still see an untaken candidate?
-        const bool has_free_alternative = std::any_of(
-            requests[i].channels.begin(), requests[i].channels.end(),
-            [&](ChannelId c) { return !taken.contains(c.value()); });
-        if (has_free_alternative) {
-          if (model == AdversaryModel::kSynchronous)
-            valid = false;  // must progress
-          else
-            a.stalled_moving.push_back(requests[i].message);
+        if (is_skip(i)) continue;
+        const ChannelId c = requests_[i].channels[odometer_[i]];
+        if (!taken.try_take(c)) valid = false;  // collision
+        else out.grants.emplace_back(c, requests_[i].message);
+      }
+      if (valid) {
+        for (std::size_t i = 0; i < m && valid; ++i) {
+          if (!is_skip(i) || !requests_[i].moving) continue;
+          // A moving skipper: does it still see an untaken candidate?
+          const bool has_free_alternative = std::any_of(
+              requests_[i].channels.begin(), requests_[i].channels.end(),
+              [&](ChannelId c) { return !taken.contains(c); });
+          if (has_free_alternative) {
+            if (model_ == AdversaryModel::kSynchronous)
+              valid = false;  // must progress
+            else
+              out.stalled_moving.push_back(requests_[i].message);
+          }
         }
       }
+      advance();
+      if (valid) {
+        ++yielded_;
+        return true;
+      }
     }
-    if (valid) result.push_back(std::move(a));
+    return false;
+  }
 
-    // Advance the mixed-radix odometer.
+  /// True when enumeration stopped at the branch cap with combos remaining.
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  /// Legal assignments produced so far.
+  [[nodiscard]] std::size_t yielded() const { return yielded_; }
+
+ private:
+  [[nodiscard]] bool is_skip(std::size_t i) const {
+    return odometer_[i] == requests_[i].channels.size();
+  }
+
+  void advance() {
+    const std::size_t m = requests_.size();
     std::size_t i = 0;
     for (; i < m; ++i) {
-      if (++odometer[i] < option_count[i]) break;
-      odometer[i] = 0;
+      if (++odometer_[i] <= requests_[i].channels.size()) break;
+      odometer_[i] = 0;
     }
-    if (m == 0 || i == m) break;
+    if (m == 0 || i == m) done_ = true;
   }
-  return result;
-}
+
+  std::vector<sim::MessageRequests> requests_;
+  std::vector<std::size_t> odometer_;
+  AdversaryModel model_;
+  std::size_t max_branches_;
+  std::size_t yielded_ = 0;
+  bool done_ = false;
+  bool truncated_ = false;
+};
 
 std::string describe_assignment(const topo::Network& net,
                                 const Assignment& a) {
@@ -107,14 +174,6 @@ std::string describe_assignment(const topo::Network& net,
   return os.str();
 }
 
-std::string spent_suffix(std::span<const std::uint32_t> spent) {
-  std::string s;
-  s.reserve(spent.size());
-  for (const std::uint32_t v : spent)
-    s.push_back(static_cast<char>(v & 0xff));
-  return s;
-}
-
 void check_specs(std::span<const sim::MessageSpec> messages) {
   for (const sim::MessageSpec& spec : messages) {
     WORMSIM_EXPECTS_MSG(spec.release_time == 0,
@@ -124,198 +183,482 @@ void check_specs(std::span<const sim::MessageSpec> messages) {
   }
 }
 
-/// The DFS over adversary choices, shared by the oblivious and adaptive
-/// entry points. `root` already carries the message multiset.
-DeadlockSearchResult search_core(sim::WormholeSimulator root,
-                                 std::size_t message_count,
-                                 const topo::Network& net,
-                                 AdversaryModel model,
-                                 const SearchLimits& limits) {
-  DeadlockSearchResult result;
-  result.profile.branch_factor =
-      obs::Histogram(obs::Histogram::exponential_bounds(1, 4096));
-  const auto started = std::chrono::steady_clock::now();
-  std::uint64_t next_progress_log =
-      limits.progress_log_interval == 0 ? 0 : limits.progress_log_interval;
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
-  struct Frame {
-    sim::WormholeSimulator sim;
-    std::vector<Assignment> branches;
-    std::size_t next = 0;
-    std::vector<std::uint32_t> spent;
-    Assignment entry;  ///< choice that led INTO this frame's state
-    bool is_root = false;
-  };
+/// The DFS engine shared by the oblivious and adaptive entry points.
+///
+/// Serial mode (threads == 1) is one DFS over the whole space. Parallel
+/// mode expands the first plies serially (BFS) into a frontier of subtree
+/// roots, then runs worker DFSs that steal frontier items off a shared
+/// atomic cursor and memoize through one striped StateTable. Soundness of
+/// "exhausted": a state is inserted into the table exactly once, by the
+/// worker that then expands it, so when every worker drains without hitting
+/// a limit the union of their explorations covers every reachable state —
+/// and conversely any reachable deadlock is found by some worker. The
+/// deadlock verdict is therefore deterministic; the particular witness may
+/// depend on scheduling, but is always rebuilt by a serial step_with_grants
+/// replay from the initial state, which revalidates every grant.
+class SearchEngine {
+ public:
+  SearchEngine(const topo::Network& net, AdversaryModel model,
+               const SearchLimits& limits)
+      : net_(net),
+        model_(model),
+        limits_(limits),
+        delay_mode_(model == AdversaryModel::kBoundedDelay),
+        threads_(resolve_threads(limits.threads)),
+        visited_(threads_ <= 1
+                     ? std::size_t{1}
+                     : std::min<std::size_t>(256, std::size_t{threads_} * 8)) {
+  }
 
-  const bool delay_mode = model == AdversaryModel::kBoundedDelay;
-  std::unordered_set<std::string> visited;
+  DeadlockSearchResult run(sim::WormholeSimulator root,
+                           std::size_t message_count) {
+    started_ = std::chrono::steady_clock::now();
+    DeadlockSearchResult result;
+    result.profile.branch_factor =
+        obs::Histogram(obs::Histogram::exponential_bounds(1, 4096));
 
-  // All exits funnel through this so the profile's timing fields are always
-  // filled.
-  auto finish = [&]() -> DeadlockSearchResult&& {
+    // Kept pristine for the witness replay (the search mutates copies).
+    const sim::WormholeSimulator pristine(root);
+    const std::size_t channel_count = net_.channel_count();
+    workers_.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t)
+      workers_.emplace_back(channel_count);
+    Worker& lead = workers_.front();
+
+    // The spent-delay vector only exists in the bounded-delay model; the
+    // synchronous search carries an empty one instead of copying a zero
+    // vector per transition.
+    std::vector<std::uint32_t> spent0(delay_mode_ ? message_count : 0, 0);
+    std::deque<WorkItem> queue;
+    bool found = false;
+    std::vector<Assignment> winner_path;
+
+    if (register_state(root, spent0, lead) == Register::kFresh)
+      queue.push_back(WorkItem{std::move(root), std::move(spent0), {}});
+
+    if (!queue.empty() && threads_ > 1)
+      expand_frontier(queue, lead, found, winner_path);
+
+    if (!found && !over_budget_.load(std::memory_order_relaxed) &&
+        !queue.empty()) {
+      std::vector<WorkItem> items;
+      items.reserve(queue.size());
+      for (WorkItem& item : queue) items.push_back(std::move(item));
+      queue.clear();
+
+      if (threads_ <= 1 || items.size() == 1) {
+        worker_loop(lead, items);
+      } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads_ - 1);
+        for (unsigned t = 1; t < threads_; ++t)
+          pool.emplace_back(
+              [this, &items, t] { worker_loop(workers_[t], items); });
+        worker_loop(lead, items);
+        for (std::thread& th : pool) th.join();
+      }
+
+      // Winner: the deadlock in the lowest-numbered frontier subtree among
+      // those reported (each item has a unique owner, so no ties).
+      const Worker* winner = nullptr;
+      for (const Worker& w : workers_)
+        if (w.found_deadlock &&
+            (winner == nullptr || w.found_item < winner->found_item))
+          winner = &w;
+      if (winner != nullptr) {
+        found = true;
+        winner_path = winner->deadlock_path;
+      }
+    }
+
+    for (const Worker& w : workers_) result.profile.merge_from(w.profile);
+    result.states_explored = states_.load(std::memory_order_relaxed);
     result.profile.memo_misses = result.states_explored;
+    result.exhausted =
+        !over_budget_.load(std::memory_order_relaxed) &&
+        std::all_of(workers_.begin(), workers_.end(),
+                    [](const Worker& w) { return w.exhausted; });
+
+    if (found) replay_deadlock(result, pristine, winner_path, message_count);
+
     const auto elapsed = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - started);
+        std::chrono::steady_clock::now() - started_);
     result.profile.elapsed_seconds = elapsed.count();
     result.profile.states_per_second =
         elapsed.count() > 0
             ? static_cast<double>(result.states_explored) / elapsed.count()
             : 0;
-    return std::move(result);
+    return result;
+  }
+
+ private:
+  enum class Register { kFresh, kSeen, kOverBudget };
+
+  /// One DFS execution context; the serial search uses exactly one.
+  struct Worker {
+    explicit Worker(std::size_t channel_count) : taken(channel_count) {
+      profile.branch_factor =
+          obs::Histogram(obs::Histogram::exponential_bounds(1, 4096));
+    }
+    TakenSet taken;
+    std::string key_scratch;
+    Assignment branch_scratch;
+    SearchProfile profile;
+    bool exhausted = true;
+    bool found_deadlock = false;
+    std::size_t found_item = std::numeric_limits<std::size_t>::max();
+    std::vector<Assignment> deadlock_path;  ///< root -> deadlock state
   };
 
-  auto budget_ok = [&](std::span<const std::uint32_t> spent) {
-    if (!delay_mode) return true;
-    if (limits.metric == DelayMetric::kTotal) {
+  /// One DFS node. The generator runs one assignment ahead (`pending`), so
+  /// the loop knows whether the branch it is about to take is the last one:
+  /// the last branch steals the frame's simulator by move instead of
+  /// copying it — with mean branch factors near 1.5 that removes most state
+  /// forks, the search's single largest cost. A frame whose simulator was
+  /// stolen stays on the stack as an entry-edge tombstone until its subtree
+  /// finishes (the deadlock path reconstruction walks those edges).
+  struct Frame {
+    sim::WormholeSimulator sim;
+    AssignmentGenerator gen;
+    std::vector<std::uint32_t> spent;
+    Assignment entry;    ///< choice that led INTO this frame's state
+    Assignment pending;  ///< next branch to take; valid when has_pending
+    bool has_pending = false;
+  };
+
+  /// A subtree root: a registered, not-yet-expanded state plus the
+  /// assignments that reach it from the initial state.
+  struct WorkItem {
+    sim::WormholeSimulator sim;
+    std::vector<std::uint32_t> spent;
+    std::vector<Assignment> path;
+  };
+
+  [[nodiscard]] bool stop_requested() const {
+    return deadlock_found_.load(std::memory_order_relaxed) ||
+           over_budget_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool budget_ok(
+      std::span<const std::uint32_t> spent) const {
+    if (!delay_mode_) return true;
+    if (limits_.metric == DelayMetric::kTotal) {
       const std::uint64_t total =
           std::accumulate(spent.begin(), spent.end(), std::uint64_t{0});
-      return total <= limits.delay_budget;
+      return total <= limits_.delay_budget;
     }
     return std::all_of(spent.begin(), spent.end(), [&](std::uint32_t v) {
-      return v <= limits.delay_budget;
+      return v <= limits_.delay_budget;
     });
-  };
-
-  // Expands a state: memoization, terminal checks, branch generation.
-  // Returns the new frame to push, or nullopt when the state is terminal /
-  // already seen. Sets result fields on deadlock.
-  auto make_frame = [&](sim::WormholeSimulator&& sim,
-                        std::vector<std::uint32_t> spent, Assignment entry)
-      -> std::optional<Frame> {
-    std::string key = sim.state_key();
-    if (delay_mode) key += spent_suffix(spent);
-    if (!visited.insert(std::move(key)).second) {
-      ++result.profile.memo_hits;
-      return std::nullopt;
-    }
-    ++result.states_explored;
-
-    if (sim.all_consumed()) return std::nullopt;  // safe terminal
-
-    const std::vector<sim::MessageRequests> groups = sim.peek_requests();
-    if (groups.empty()) {
-      // Only the idle transition exists; if it makes no progress the state
-      // is frozen forever with unfinished messages: a deadlock.
-      sim::WormholeSimulator child(sim);
-      const bool progressed = child.step_with_grants({});
-      if (!progressed) {
-        result.deadlock_found = true;
-        result.deadlock_configuration = snapshot(sim);
-        const auto occ = sim.occupancy();
-        result.deadlock_cycle = find_wait_cycle(
-            occ, [&sim](ChannelId c) { return sim.channel_owner(c); });
-        result.delay_used_total = static_cast<std::uint32_t>(
-            std::accumulate(spent.begin(), spent.end(), std::uint64_t{0}));
-        result.delay_used_max =
-            spent.empty() ? 0u
-                          : *std::max_element(spent.begin(), spent.end());
-        return std::nullopt;
-      }
-      Frame frame{std::move(sim), {}, 0, std::move(spent), std::move(entry),
-                  false};
-      frame.branches.push_back(Assignment{});
-      result.profile.branch_factor.observe(1);
-      return frame;
-    }
-
-    bool truncated = false;
-    std::vector<Assignment> branches = enumerate_assignments(
-        groups, model, limits.max_branches_per_state, truncated);
-    if (truncated) {
-      result.exhausted = false;
-      ++result.profile.branch_truncations;
-    }
-    result.profile.branch_factor.observe(
-        static_cast<double>(branches.size()));
-    return Frame{std::move(sim),   std::move(branches), 0,
-                 std::move(spent), std::move(entry),    false};
-  };
-
-  // The deadlock execution: every assignment on the DFS stack (root
-  // excluded) followed by the final choice. Grants are always recorded;
-  // the describe_assignment strings only on request.
-  auto record_witness = [&](std::span<const Frame> stack,
-                            const Assignment* final_choice) {
-    for (const Frame& f : stack) {
-      if (f.is_root) continue;
-      if (limits.build_witness)
-        result.witness.push_back(describe_assignment(net, f.entry));
-      result.witness_grants.push_back(f.entry.grants);
-    }
-    if (final_choice != nullptr) {
-      if (limits.build_witness)
-        result.witness.push_back(describe_assignment(net, *final_choice));
-      result.witness_grants.push_back(final_choice->grants);
-    }
-  };
-
-  std::vector<Frame> stack;
-  if (auto frame = make_frame(std::move(root),
-                              std::vector<std::uint32_t>(message_count, 0),
-                              Assignment{})) {
-    frame->is_root = true;
-    stack.push_back(std::move(*frame));
-    result.profile.peak_depth = 1;
-  }
-  if (result.deadlock_found) {
-    if (limits.build_witness)
-      result.witness.push_back("initial state is frozen");
-    return finish();
   }
 
-  while (!stack.empty()) {
-    if (result.states_explored >= limits.max_states) {
-      result.exhausted = false;
-      break;
+  /// Memoizes one state: binary key into the worker's scratch buffer (full
+  /// 32-bit spent values in delay mode — the old string key truncated them
+  /// to a byte), one hash, one striped-table insert, one atomic count.
+  Register register_state(const sim::WormholeSimulator& sim,
+                          std::span<const std::uint32_t> spent, Worker& w) {
+    w.key_scratch.clear();
+    sim.append_state_key(w.key_scratch);
+    if (delay_mode_)
+      for (const std::uint32_t v : spent) append_u32(w.key_scratch, v);
+    if (!visited_.insert(w.key_scratch)) {
+      ++w.profile.memo_hits;
+      return Register::kSeen;
     }
-    if (next_progress_log != 0 &&
-        result.states_explored >= next_progress_log) {
-      next_progress_log += limits.progress_log_interval;
+    const std::uint64_t count =
+        states_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (count > limits_.max_states) {
+      states_.fetch_sub(1, std::memory_order_relaxed);
+      over_budget_.store(true, std::memory_order_relaxed);
+      return Register::kOverBudget;
+    }
+    if (limits_.progress_log_interval != 0 &&
+        count % limits_.progress_log_interval == 0) {
       const auto elapsed = std::chrono::duration<double>(
-          std::chrono::steady_clock::now() - started);
-      WORMSIM_LOG(Info) << "deadlock search: "
-                        << result.states_explored << " states, depth "
-                        << stack.size() << ", memo hits "
-                        << result.profile.memo_hits << ", "
+          std::chrono::steady_clock::now() - started_);
+      WORMSIM_LOG(Info) << "deadlock search: " << count << " states, "
                         << (elapsed.count() > 0
-                                ? static_cast<double>(
-                                      result.states_explored) /
-                                      elapsed.count()
+                                ? static_cast<double>(count) / elapsed.count()
                                 : 0)
                         << " states/s";
     }
-    Frame& frame = stack.back();
-    if (frame.next >= frame.branches.size()) {
-      stack.pop_back();
-      continue;
-    }
-    const Assignment& choice = frame.branches[frame.next++];
+    return Register::kFresh;
+  }
 
-    std::vector<std::uint32_t> child_spent = frame.spent;
-    for (const MessageId m : choice.stalled_moving)
-      ++child_spent[m.index()];
-    if (!budget_ok(child_spent)) {
-      ++result.profile.budget_prunes;
-      continue;
+  /// Opens a freshly registered state for expansion: terminal checks plus a
+  /// lazy branch generator. nullopt for terminals — all-consumed (safe), or
+  /// frozen with unfinished messages, which sets w.found_deadlock (the
+  /// caller owns the path that reached the state).
+  std::optional<Frame> open_frame(sim::WormholeSimulator&& sim,
+                                  std::vector<std::uint32_t>&& spent,
+                                  Assignment&& entry, Worker& w) {
+    if (sim.all_consumed()) return std::nullopt;  // safe terminal
+    std::vector<sim::MessageRequests> groups = sim.peek_requests();
+    if (groups.empty()) {
+      // Only the idle transition exists; if it makes no progress the state
+      // is frozen forever with unfinished messages: a deadlock. Otherwise
+      // the generator over zero requests yields exactly the idle branch.
+      sim::WormholeSimulator probe(sim);
+      if (!probe.step_with_grants({})) {
+        w.found_deadlock = true;
+        return std::nullopt;
+      }
     }
+    Frame frame{std::move(sim),
+                AssignmentGenerator(std::move(groups), model_,
+                                    limits_.max_branches_per_state),
+                std::move(spent),
+                std::move(entry),
+                Assignment{},
+                false};
+    frame.has_pending = frame.gen.next(frame.pending, w.taken);
+    return frame;
+  }
 
-    sim::WormholeSimulator child(frame.sim);
-    child.step_with_grants(choice.grants);
-
-    auto next_frame =
-        make_frame(std::move(child), std::move(child_spent), choice);
-    if (result.deadlock_found) {
-      record_witness(stack, &choice);
-      return finish();
+  /// Retires a frame: truncation bookkeeping plus the branch-factor sample.
+  void retire_frame(const Frame& frame, Worker& w) {
+    if (frame.gen.truncated()) {
+      ++w.profile.branch_truncations;
+      w.exhausted = false;
     }
-    if (next_frame) {
-      stack.push_back(std::move(*next_frame));
-      result.profile.peak_depth =
-          std::max<std::uint64_t>(result.profile.peak_depth, stack.size());
+    w.profile.branch_factor.observe(
+        static_cast<double>(frame.gen.yielded()));
+  }
+
+  /// Serial BFS over the first plies until the queue holds enough subtree
+  /// roots to feed every worker (or the space ran out first). States popped
+  /// here are expanded exactly once, like any DFS state; queue survivors
+  /// are expanded later by the workers.
+  void expand_frontier(std::deque<WorkItem>& queue, Worker& w, bool& found,
+                       std::vector<Assignment>& winner_path) {
+    const std::size_t target = std::size_t{threads_} * 4;
+    std::size_t pops = 0;
+    const std::size_t pop_cap = std::max<std::size_t>(64, target * 16);
+    while (!queue.empty() && queue.size() < target && pops < pop_cap) {
+      WorkItem item = std::move(queue.front());
+      queue.pop_front();
+      ++pops;
+      std::vector<Assignment> path = std::move(item.path);
+      w.profile.peak_depth =
+          std::max<std::uint64_t>(w.profile.peak_depth, path.size() + 1);
+      auto frame =
+          open_frame(std::move(item.sim), std::move(item.spent),
+                     Assignment{}, w);
+      if (w.found_deadlock) {
+        found = true;
+        winner_path = std::move(path);
+        deadlock_found_.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (!frame) continue;  // safe terminal
+      while (frame->has_pending) {
+        Assignment& choice = w.branch_scratch;
+        choice = std::move(frame->pending);
+        frame->has_pending = frame->gen.next(frame->pending, w.taken);
+        std::vector<std::uint32_t> child_spent;
+        if (delay_mode_) {
+          child_spent = frame->spent;
+          for (const MessageId m : choice.stalled_moving)
+            ++child_spent[m.index()];
+          if (!budget_ok(child_spent)) {
+            ++w.profile.budget_prunes;
+            continue;
+          }
+        }
+        sim::WormholeSimulator child =
+            frame->has_pending ? sim::WormholeSimulator(frame->sim)
+                               : std::move(frame->sim);
+        child.step_with_grants(choice.grants);
+        const Register reg = register_state(child, child_spent, w);
+        if (reg == Register::kSeen) continue;
+        if (reg == Register::kOverBudget) {
+          w.exhausted = false;
+          retire_frame(*frame, w);
+          return;
+        }
+        std::vector<Assignment> child_path = path;
+        child_path.push_back(choice);
+        queue.push_back(WorkItem{std::move(child), std::move(child_spent),
+                                 std::move(child_path)});
+      }
+      retire_frame(*frame, w);
     }
   }
 
-  return finish();
+  void worker_loop(Worker& w, std::vector<WorkItem>& items) {
+    while (!stop_requested()) {
+      const std::size_t i =
+          next_item_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= items.size()) return;
+      run_item(w, std::move(items[i]), i);
+      if (w.found_deadlock) return;
+    }
+  }
+
+  /// DFS over one subtree. Frames carry generator cursors; each branch is
+  /// materialized once into the worker's scratch Assignment, and copied
+  /// only when its child state turns out to be fresh.
+  void run_item(Worker& w, WorkItem&& item, std::size_t index) {
+    const std::size_t base_depth = item.path.size();
+    std::vector<Frame> stack;
+
+    const auto drain_observe = [&] {
+      for (const Frame& f : stack)
+        w.profile.branch_factor.observe(
+            static_cast<double>(f.gen.yielded()));
+    };
+    const auto report_deadlock = [&](std::vector<Assignment>&& path) {
+      w.found_deadlock = true;
+      w.found_item = index;
+      w.deadlock_path = std::move(path);
+      deadlock_found_.store(true, std::memory_order_relaxed);
+    };
+
+    auto root_frame = open_frame(std::move(item.sim), std::move(item.spent),
+                                 Assignment{}, w);
+    if (w.found_deadlock) {
+      report_deadlock(std::move(item.path));
+      return;
+    }
+    if (!root_frame) return;  // safe terminal
+    stack.push_back(std::move(*root_frame));
+    w.profile.peak_depth = std::max<std::uint64_t>(
+        w.profile.peak_depth, base_depth + stack.size());
+
+    while (!stack.empty()) {
+      if (stop_requested()) {
+        drain_observe();
+        return;
+      }
+      Frame& top = stack.back();
+      if (!top.has_pending) {
+        retire_frame(top, w);
+        stack.pop_back();
+        continue;
+      }
+      Assignment& choice = w.branch_scratch;
+      choice = std::move(top.pending);
+      top.has_pending = top.gen.next(top.pending, w.taken);
+
+      std::vector<std::uint32_t> child_spent;
+      if (delay_mode_) {
+        child_spent = top.spent;
+        for (const MessageId m : choice.stalled_moving)
+          ++child_spent[m.index()];
+        if (!budget_ok(child_spent)) {
+          ++w.profile.budget_prunes;
+          continue;
+        }
+      }
+
+      // Last branch: the parent has no further use for its simulator, so
+      // the child takes it by move. The emptied frame stays on the stack as
+      // a tombstone carrying its entry edge.
+      sim::WormholeSimulator child =
+          top.has_pending ? sim::WormholeSimulator(top.sim)
+                          : std::move(top.sim);
+      child.step_with_grants(choice.grants);
+
+      const Register reg = register_state(child, child_spent, w);
+      if (reg == Register::kSeen) continue;
+      if (reg == Register::kOverBudget) {
+        w.exhausted = false;
+        drain_observe();
+        return;
+      }
+
+      auto next_frame = open_frame(std::move(child), std::move(child_spent),
+                                   Assignment{}, w);
+      if (w.found_deadlock) {
+        // The deadlock execution: the item's prefix, every entry choice on
+        // the DFS stack (subtree root excluded), then the final choice.
+        std::vector<Assignment> path = std::move(item.path);
+        for (std::size_t f = 1; f < stack.size(); ++f)
+          path.push_back(stack[f].entry);
+        path.push_back(choice);
+        report_deadlock(std::move(path));
+        drain_observe();
+        return;
+      }
+      if (next_frame) {
+        // The frame adopts the scratch assignment as its entry edge (the
+        // generator clears moved-from scratch before reusing it); copying
+        // the grant vector per fresh state showed up in the profile.
+        next_frame->entry = std::move(w.branch_scratch);
+        stack.push_back(std::move(*next_frame));
+        w.profile.peak_depth = std::max<std::uint64_t>(
+            w.profile.peak_depth, base_depth + stack.size());
+      }
+    }
+  }
+
+  /// Rebuilds the authoritative deadlock artifacts by replaying the winning
+  /// assignment path serially from the initial state. step_with_grants
+  /// revalidates every grant against the actual per-cycle requests, so the
+  /// machine witness is verified, not just recorded.
+  void replay_deadlock(DeadlockSearchResult& result,
+                       const sim::WormholeSimulator& pristine,
+                       std::span<const Assignment> path,
+                       std::size_t message_count) {
+    result.deadlock_found = true;
+    sim::WormholeSimulator replay(pristine);
+    std::vector<std::uint32_t> spent(message_count, 0);
+    for (const Assignment& a : path) {
+      for (const MessageId m : a.stalled_moving) ++spent[m.index()];
+      replay.step_with_grants(a.grants);
+      if (limits_.build_witness)
+        result.witness.push_back(describe_assignment(net_, a));
+      result.witness_grants.push_back(a.grants);
+    }
+    if (path.empty() && limits_.build_witness)
+      result.witness.push_back("initial state is frozen");
+    // The replayed terminal must be a genuine Definition-6 deadlock:
+    // frozen under the idle transition with unfinished messages.
+    WORMSIM_ASSERT(!replay.all_consumed());
+#ifndef NDEBUG
+    {
+      sim::WormholeSimulator probe(replay);
+      WORMSIM_ASSERT(!probe.step_with_grants({}));
+    }
+#endif
+    result.deadlock_configuration = snapshot(replay);
+    const auto occ = replay.occupancy();
+    result.deadlock_cycle = find_wait_cycle(
+        occ, [&replay](ChannelId c) { return replay.channel_owner(c); });
+    result.delay_used_total = static_cast<std::uint32_t>(
+        std::accumulate(spent.begin(), spent.end(), std::uint64_t{0}));
+    result.delay_used_max =
+        spent.empty() ? 0u : *std::max_element(spent.begin(), spent.end());
+  }
+
+  const topo::Network& net_;
+  const AdversaryModel model_;
+  const SearchLimits& limits_;
+  const bool delay_mode_;
+  const unsigned threads_;
+
+  StateTable visited_;
+  std::atomic<std::uint64_t> states_{0};
+  std::atomic<bool> deadlock_found_{false};
+  std::atomic<bool> over_budget_{false};
+  std::atomic<std::size_t> next_item_{0};
+  std::vector<Worker> workers_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+DeadlockSearchResult search_core(sim::WormholeSimulator root,
+                                 std::size_t message_count,
+                                 const topo::Network& net,
+                                 AdversaryModel model,
+                                 const SearchLimits& limits) {
+  SearchEngine engine(net, model, limits);
+  return engine.run(std::move(root), message_count);
 }
 
 }  // namespace
@@ -352,15 +695,44 @@ std::optional<std::uint32_t> minimal_deadlock_delay(
     std::uint32_t max_budget, SearchLimits limits, bool* exhausted_out) {
   bool all_exhausted = true;
   limits.metric = metric;
-  for (std::uint32_t budget = 0; budget <= max_budget; ++budget) {
-    limits.delay_budget = budget;
-    const DeadlockSearchResult result =
-        find_deadlock(alg, messages, AdversaryModel::kBoundedDelay, limits);
-    if (!result.exhausted) all_exhausted = false;
-    if (result.deadlock_found) {
-      if (exhausted_out) *exhausted_out = all_exhausted;
-      return budget;
+  // The scan parallelizes across budgets: each budget runs a serial search,
+  // and `threads` of them execute concurrently per chunk. Scanning chunks
+  // in ascending order and reading results in budget order preserves the
+  // serial semantics exactly (smallest deadlocking budget; exhaustion
+  // accumulated over budgets up to and including the answer).
+  const unsigned pool = resolve_threads(limits.threads);
+  SearchLimits per_budget = limits;
+  per_budget.threads = 1;
+
+  std::uint32_t budget = 0;
+  while (budget <= max_budget) {
+    const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        pool, std::uint64_t{max_budget} - budget + 1));
+    std::vector<DeadlockSearchResult> results(chunk);
+    if (chunk == 1) {
+      per_budget.delay_budget = budget;
+      results[0] = find_deadlock(alg, messages, AdversaryModel::kBoundedDelay,
+                                 per_budget);
+    } else {
+      std::vector<std::thread> pool_threads;
+      pool_threads.reserve(chunk);
+      for (std::uint32_t j = 0; j < chunk; ++j)
+        pool_threads.emplace_back([&, j] {
+          SearchLimits mine = per_budget;
+          mine.delay_budget = budget + j;
+          results[j] = find_deadlock(alg, messages,
+                                     AdversaryModel::kBoundedDelay, mine);
+        });
+      for (std::thread& t : pool_threads) t.join();
     }
+    for (std::uint32_t j = 0; j < chunk; ++j) {
+      if (!results[j].exhausted) all_exhausted = false;
+      if (results[j].deadlock_found) {
+        if (exhausted_out) *exhausted_out = all_exhausted;
+        return budget + j;
+      }
+    }
+    budget += chunk;
   }
   if (exhausted_out) *exhausted_out = all_exhausted;
   return std::nullopt;

@@ -24,8 +24,21 @@
 // transition system with memoization on the time-independent state key, so a
 // negative answer within the state bound is a *proof* of unreachability for
 // the given message multiset, buffer depth and (in kBoundedDelay) budget.
+//
+// Engine (see DESIGN.md §9): states are memoized in an exact binary
+// StateTable (state_table.hpp); adversary assignments are generated lazily
+// by a mixed-radix odometer, so DFS frames hold a cursor rather than a
+// materialized branch vector; and with SearchLimits::threads > 1 the first
+// plies are expanded serially into a frontier of independent subtrees that
+// worker DFSs drain concurrently over a shared visited table. Verdicts
+// (deadlock_found / exhausted) are deterministic either way: the workers'
+// visited sets jointly cover the reachable space, so "every worker
+// exhausted" is still a proof, and any reachable deadlock is found by some
+// worker. A found deadlock is replayed serially through step_with_grants
+// from the initial state to rebuild the exact configuration and witness.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <span>
 #include <string>
@@ -59,9 +72,16 @@ struct SearchLimits {
   /// witness (witness_grants) is always produced; the strings are pure
   /// presentation, so long sweeps can turn them off.
   bool build_witness = true;
-  /// When nonzero, log search progress (states, depth, memo hit rate,
-  /// states/sec) at Info level every this-many explored states.
+  /// When nonzero, log search progress (states explored, states/sec) at
+  /// Info level every this-many explored states.
   std::uint64_t progress_log_interval = 0;
+  /// DFS worker threads. 1 (the default) runs fully serially. Values > 1
+  /// expand the first plies serially into a frontier of subtrees, then run
+  /// this many workers over it (shared visited table, work stealing).
+  /// 0 means std::thread::hardware_concurrency(). Verdicts are identical to
+  /// the serial search; states_explored/profile counters may vary slightly
+  /// run-to-run because workers race to memoize shared states.
+  unsigned threads = 1;
 };
 
 /// Where the search spent its effort. memo_misses counts unique states
@@ -72,8 +92,11 @@ struct SearchProfile {
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
   /// Deepest DFS stack reached (cycles of the longest execution examined).
+  /// In a parallel search this includes the frontier prefix depth.
   std::uint64_t peak_depth = 0;
-  /// Legal adversary assignments per expanded state.
+  /// Adversary assignments generated per expanded state. Branches are
+  /// produced lazily, so a state retired early (deadlock found / limits
+  /// hit) reports the branches generated so far, not its full fan-out.
   obs::Histogram branch_factor;
   /// States whose assignment enumeration hit max_branches_per_state.
   std::uint64_t branch_truncations = 0;
@@ -87,6 +110,18 @@ struct SearchProfile {
     return lookups == 0 ? 0
                         : static_cast<double>(memo_hits) /
                               static_cast<double>(lookups);
+  }
+
+  /// Folds a worker's profile into this accumulator: counters add,
+  /// peak_depth maxes, branch_factor histograms merge. Timing fields are
+  /// left untouched (the engine stamps wall-clock figures once at the end).
+  void merge_from(const SearchProfile& other) {
+    memo_hits += other.memo_hits;
+    memo_misses += other.memo_misses;
+    peak_depth = std::max(peak_depth, other.peak_depth);
+    branch_factor.merge_from(other.branch_factor);
+    branch_truncations += other.branch_truncations;
+    budget_prunes += other.budget_prunes;
   }
 };
 

@@ -1,0 +1,75 @@
+#include "analysis/state_table.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace wormsim::analysis {
+
+namespace {
+
+constexpr std::size_t kInitialSlots = 64;  // per stripe; power of two
+// Resize above count/capacity == 7/10; linear probing stays short there.
+constexpr std::size_t kLoadNum = 7;
+constexpr std::size_t kLoadDen = 10;
+
+}  // namespace
+
+StateTable::StateTable(std::size_t stripes)
+    : stripes_(std::bit_ceil(stripes == 0 ? std::size_t{1} : stripes)) {
+  stripe_mask_ = stripes_.size() - 1;
+  for (Stripe& s : stripes_) s.slots.resize(kInitialSlots);
+}
+
+void StateTable::grow(Stripe& stripe) {
+  std::vector<Slot> next(stripe.slots.size() * 2);
+  const std::uint64_t mask = next.size() - 1;
+  for (const Slot& slot : stripe.slots) {
+    if (slot.hash == 0) continue;
+    std::uint64_t i = slot.hash & mask;
+    while (next[i].hash != 0) i = (i + 1) & mask;
+    next[i] = slot;
+  }
+  stripe.slots = std::move(next);
+}
+
+bool StateTable::insert_hashed(std::string_view key, std::uint64_t hash) {
+  WORMSIM_ASSERT(!key.empty());
+  if (hash == 0) hash = 0x9e3779b97f4a7c15ull;  // 0 is the empty-slot mark
+  // High bits pick the stripe, low bits the probe start, so the probe
+  // sequence within a stripe is independent of the stripe choice.
+  Stripe& stripe = stripes_[(hash >> 48) & stripe_mask_];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+
+  if ((stripe.count + 1) * kLoadDen > stripe.slots.size() * kLoadNum)
+    grow(stripe);
+
+  const std::uint64_t mask = stripe.slots.size() - 1;
+  std::uint64_t i = hash & mask;
+  while (true) {
+    Slot& slot = stripe.slots[i];
+    if (slot.hash == 0) {
+      slot.hash = hash;
+      slot.offset = stripe.arena.size();
+      slot.length = static_cast<std::uint32_t>(key.size());
+      stripe.arena.append(key);
+      ++stripe.count;
+      return true;
+    }
+    if (slot.hash == hash && slot.length == key.size() &&
+        stripe.arena.compare(slot.offset, slot.length, key) == 0)
+      return false;  // exact match: already visited
+    i = (i + 1) & mask;
+  }
+}
+
+std::uint64_t StateTable::size() const {
+  std::uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.count;
+  }
+  return total;
+}
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,123 @@
+// Compact, exact, thread-safe memoization for reachability searches.
+//
+// The deadlock search memoizes on a canonical binary serialization of the
+// simulator state (WormholeSimulator::append_state_key plus, in the
+// bounded-delay model, the spent-delay vector). The pre-StateTable engine
+// built a fresh heap std::string per state and stored it in an
+// unordered_set<std::string> — two allocations and two full hash passes per
+// lookup. StateTable replaces that with:
+//
+//   - key bytes serialized into a caller-owned scratch buffer (no per-state
+//     allocation);
+//   - one FNV-1a 64-bit hash pass;
+//   - striped open-addressing slots {hash, offset, length} whose key bytes
+//     live back-to-back in a per-stripe arena (~20 bytes of index per state
+//     plus the raw key, vs. an unordered_set node + string header + heap
+//     block each).
+//
+// Every key is stored *exactly* — a hit is a byte-for-byte match, never a
+// hash-only guess — so "search exhausted without finding a deadlock" remains
+// a proof of unreachability, not a probabilistic claim. Striping (high hash
+// bits pick the stripe, each stripe has its own mutex) keeps concurrent DFS
+// workers mostly out of each other's way; with one stripe the lock is
+// uncontended and the table doubles as the serial engine's visited set.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wormsim::analysis {
+
+/// FNV-1a, 64-bit, applied to 8-byte lanes: the key is consumed one 64-bit
+/// word at a time (final partial word zero-padded, length mixed in last).
+/// Byte-at-a-time FNV costs one dependent multiply per byte, which showed up
+/// as the single largest line in the search profile for ~250-byte state
+/// keys; the lane variant does an eighth of the multiplies with the same
+/// constants and comparable mixing. Not the canonical FNV digest — this is a
+/// process-local memoization hash, and empty input still maps to the FNV
+/// offset basis. The search precomputes it once per state and passes it to
+/// insert_hashed.
+[[nodiscard]] inline std::uint64_t hash_bytes(
+    std::string_view bytes) noexcept {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    h = (h ^ w) * kPrime;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t w = 0;
+    __builtin_memcpy(&w, p, n);
+    h = (h ^ w) * kPrime;
+  }
+  if (!bytes.empty()) h = (h ^ bytes.size()) * kPrime;
+  return h;
+}
+
+/// Appends `v` to `key` little-endian, the fixed-width encoding shared by
+/// WormholeSimulator::append_state_key and the search's spent-delay suffix.
+/// All 32 bits are kept: the pre-StateTable string suffix truncated each
+/// spent counter to one byte (`v & 0xff`), aliasing two states whose spent
+/// values differ by 256 whenever delay_budget > 255.
+inline void append_u32(std::string& key, std::uint32_t v) {
+  key.push_back(static_cast<char>(v & 0xff));
+  key.push_back(static_cast<char>((v >> 8) & 0xff));
+  key.push_back(static_cast<char>((v >> 16) & 0xff));
+  key.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+class StateTable {
+ public:
+  /// `stripes` is rounded up to a power of two (at least 1). Use 1 for a
+  /// serial search; a few per worker thread for a parallel one.
+  explicit StateTable(std::size_t stripes = 1);
+
+  StateTable(const StateTable&) = delete;
+  StateTable& operator=(const StateTable&) = delete;
+
+  /// Inserts `key`; returns true when it was newly inserted (first visit),
+  /// false when an identical key is already present.
+  bool insert(std::string_view key) {
+    return insert_hashed(key, hash_bytes(key));
+  }
+
+  /// insert() with the hash precomputed by the caller.
+  bool insert_hashed(std::string_view key, std::uint64_t hash);
+
+  /// Distinct keys stored. Takes every stripe lock; a coherent total only
+  /// once concurrent inserters have quiesced.
+  [[nodiscard]] std::uint64_t size() const;
+
+  [[nodiscard]] std::size_t stripe_count() const { return stripes_.size(); }
+
+ private:
+  /// Open-addressing slot; hash == 0 marks an empty slot (a real zero hash
+  /// is remapped in insert_hashed).
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint64_t offset = 0;  ///< into the stripe arena
+    std::uint32_t length = 0;
+  };
+
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::vector<Slot> slots;  ///< power-of-two size
+    std::string arena;        ///< key bytes, back to back
+    std::size_t count = 0;
+  };
+
+  static void grow(Stripe& stripe);
+
+  std::vector<Stripe> stripes_;
+  std::uint64_t stripe_mask_ = 0;
+};
+
+}  // namespace wormsim::analysis

@@ -26,6 +26,27 @@ void Histogram::observe(double v) {
   }
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (bounds_ != other.bounds_) {
+    WORMSIM_EXPECTS_MSG(count_ == 0 && bounds_.empty(),
+                        "histogram merge requires identical bounds");
+    bounds_ = other.bounds_;
+    counts_ = other.counts_;
+    count_ = other.count_;
+    sum_ = other.sum_;
+    min_ = other.min_;
+    max_ = other.max_;
+    return;
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+}
+
 double Histogram::percentile(double p) const {
   if (count_ == 0) return 0;
   p = std::clamp(p, 0.0, 1.0);

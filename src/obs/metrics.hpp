@@ -52,6 +52,13 @@ class Histogram {
 
   void observe(double v);
 
+  /// Folds another histogram's observations into this one. The bounds must
+  /// be identical, except that a default-constructed (empty-bounds, zero
+  /// observations) histogram adopts `other`'s bounds — so per-thread
+  /// histograms can be merged into a freshly declared accumulator. Used to
+  /// combine the parallel deadlock search's per-worker profiles.
+  void merge_from(const Histogram& other);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double min() const { return count_ == 0 ? 0 : min_; }

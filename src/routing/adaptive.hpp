@@ -50,6 +50,23 @@ class AdaptiveRouting {
   [[nodiscard]] virtual std::vector<ChannelId> next_channels(
       ChannelId in, NodeId dst) const = 0;
 
+  /// Appends initial_channels(src, dst) to `out` without clearing it. The
+  /// default materializes the vector; single-candidate adapters override to
+  /// skip the allocation — the simulator queries candidates once per message
+  /// per cycle, which makes this the deadlock search's innermost loop.
+  virtual void append_initial_channels(NodeId src, NodeId dst,
+                                       std::vector<ChannelId>& out) const {
+    const auto v = initial_channels(src, dst);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+
+  /// Appends next_channels(in, dst) to `out` without clearing it.
+  virtual void append_next_channels(ChannelId in, NodeId dst,
+                                    std::vector<ChannelId>& out) const {
+    const auto v = next_channels(in, dst);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+
  private:
   const topo::Network* net_;
 };
@@ -72,6 +89,14 @@ class ObliviousAsAdaptive final : public AdaptiveRouting {
   [[nodiscard]] std::vector<ChannelId> next_channels(
       ChannelId in, NodeId dst) const override {
     return {alg_->next_channel(in, dst)};
+  }
+  void append_initial_channels(NodeId src, NodeId dst,
+                               std::vector<ChannelId>& out) const override {
+    out.push_back(alg_->initial_channel(src, dst));
+  }
+  void append_next_channels(ChannelId in, NodeId dst,
+                            std::vector<ChannelId>& out) const override {
+    out.push_back(alg_->next_channel(in, dst));
   }
 
  private:

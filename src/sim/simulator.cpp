@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <unordered_map>
 
@@ -60,18 +61,28 @@ MessageId WormholeSimulator::add_message(MessageSpec spec) {
 
 std::vector<ChannelId> WormholeSimulator::desired_channels(
     const MessageState& m) const {
+  std::vector<ChannelId> wants;
+  desired_channels_into(m, wants);
+  return wants;
+}
+
+void WormholeSimulator::desired_channels_into(
+    const MessageState& m, std::vector<ChannelId>& out) const {
+  out.clear();
   switch (m.status) {
     case MessageStatus::kPending:
-      return alg_->initial_channels(m.spec.src, m.spec.dst);
+      alg_->append_initial_channels(m.spec.src, m.spec.dst, out);
+      return;
     case MessageStatus::kMoving: {
       const ChannelId leading = m.path.back();
       if (alg_->net().channel(leading).dst == m.spec.dst)
-        return {};  // at destination: consume, not route
-      return alg_->next_channels(leading, m.spec.dst);
+        return;  // at destination: consume, not route
+      alg_->append_next_channels(leading, m.spec.dst, out);
+      return;
     }
     case MessageStatus::kDelivered:
     case MessageStatus::kConsumed:
-      return {};
+      return;
   }
   WORMSIM_UNREACHABLE("bad MessageStatus");
 }
@@ -136,7 +147,8 @@ bool WormholeSimulator::compute_requests() {
     if (ch.owner.valid()) ++ch.busy_cycles;
   }
 
-  requests_.clear();
+  requests_.v.clear();
+  std::vector<ChannelId> wants;
   for (std::size_t i = 0; i < messages_.size(); ++i) {
     MessageState& m = messages_[i];
     if (m.status == MessageStatus::kDelivered ||
@@ -149,7 +161,7 @@ bool WormholeSimulator::compute_requests() {
       progress = true;
       continue;
     }
-    const auto wants = desired_channels(m);
+    desired_channels_into(m, wants);
     if (wants.empty()) continue;  // header at destination; consumed below
     const std::size_t hop = m.path.size();
     if (tick_stall(m, hop)) {
@@ -164,7 +176,7 @@ bool WormholeSimulator::compute_requests() {
     for (const ChannelId want : wants)
       if (!channels_[want.index()].owner.valid()) {
         any_free = true;
-        requests_.push_back(
+        requests_.v.push_back(
             ChannelRequest{MessageId{i}, want, m.waiting_since});
       }
     if (!any_free && tracing())
@@ -184,7 +196,7 @@ bool WormholeSimulator::step() {
   // is skipped and the surplus channel stays idle for this cycle.
   std::vector<ChannelId> granted(messages_.size(), ChannelId::invalid());
   std::unordered_map<std::uint32_t, std::vector<ChannelRequest>> by_channel;
-  for (const ChannelRequest& r : requests_)
+  for (const ChannelRequest& r : requests_.v)
     by_channel[r.channel.value()].push_back(r);
   // Deterministic processing order (map order is not).
   std::vector<std::uint32_t> channel_order;
@@ -214,26 +226,42 @@ bool WormholeSimulator::step() {
 }
 
 std::vector<MessageRequests> WormholeSimulator::peek_requests() const {
-  WormholeSimulator probe(*this);
-  probe.muted_ = true;  // speculative cycle: no trace output
-  probe.refresh_trace_armed();
-  probe.compute_requests();
-  std::unordered_map<std::uint32_t, std::size_t> entry_of;
+  // Replicates the request derivation of the NEXT compute_requests() cycle
+  // without mutating the simulator (earlier versions probed by copying the
+  // whole simulator, which dominated the deadlock search's per-state cost).
+  // Must stay in lockstep with compute_requests: same release gating (the
+  // probed cycle is cycle_ + 1), same stall decision (tick_stall stalls
+  // while the pending remaining count is nonzero), same free-channel filter.
   std::vector<MessageRequests> result;
-  for (const ChannelRequest& r : probe.requests_) {
-    const auto [it, inserted] =
-        entry_of.emplace(r.message.value(), result.size());
-    if (inserted) {
-      MessageRequests entry;
-      entry.message = r.message;
-      entry.moving = probe.messages_[r.message.index()].status ==
-                     MessageStatus::kMoving;
-      result.push_back(std::move(entry));
-    }
-    result[it->second].channels.push_back(r.channel);
-  }
-  for (MessageRequests& entry : result)
+  result.reserve(messages_.size());
+  std::vector<ChannelId> wants;
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    const MessageState& m = messages_[i];
+    if (m.status == MessageStatus::kDelivered ||
+        m.status == MessageStatus::kConsumed)
+      continue;
+    if (m.status == MessageStatus::kPending &&
+        cycle_ + 1 < m.spec.release_time)
+      continue;
+    desired_channels_into(m, wants);
+    if (wants.empty()) continue;  // header at destination
+    const std::size_t hop = m.path.size();
+    const std::uint32_t stall_remaining =
+        m.stall_loaded ? m.stall_remaining
+                       : (hop < m.spec.hop_stalls.size()
+                              ? m.spec.hop_stalls[hop]
+                              : 0u);
+    if (stall_remaining > 0) continue;  // adversarial stall would tick
+    MessageRequests entry;
+    entry.message = MessageId{i};
+    entry.moving = m.status == MessageStatus::kMoving;
+    for (const ChannelId want : wants)
+      if (!channels_[want.index()].owner.valid())
+        entry.channels.push_back(want);
+    if (entry.channels.empty()) continue;  // all candidates busy
     std::sort(entry.channels.begin(), entry.channels.end());
+    result.push_back(std::move(entry));
+  }
   return result;
 }
 
@@ -242,17 +270,20 @@ bool WormholeSimulator::step_with_grants(
   bool progress = compute_requests();
 
   std::vector<ChannelId> granted(messages_.size(), ChannelId::invalid());
-  std::unordered_map<std::uint32_t, char> channel_taken;
-  for (const auto& [channel, winner] : grants) {
+  for (std::size_t gi = 0; gi < grants.size(); ++gi) {
+    const auto& [channel, winner] = grants[gi];
     const bool is_request = std::any_of(
-        requests_.begin(), requests_.end(), [&](const ChannelRequest& r) {
+        requests_.v.begin(), requests_.v.end(), [&](const ChannelRequest& r) {
           return r.channel == channel && r.message == winner;
         });
     WORMSIM_EXPECTS_MSG(is_request, "grant does not match any request");
     WORMSIM_EXPECTS_MSG(!granted[winner.index()].valid(),
                         "message granted two channels in one cycle");
-    WORMSIM_EXPECTS_MSG(!channel_taken[channel.value()]++,
-                        "channel granted to two messages in one cycle");
+    // Quadratic duplicate scan: grant lists are at most one per message,
+    // so this beats any per-call hash container on the search hot path.
+    for (std::size_t gj = 0; gj < gi; ++gj)
+      WORMSIM_EXPECTS_MSG(grants[gj].first != channel,
+                          "channel granted to two messages in one cycle");
     granted[winner.index()] = channel;
   }
 
@@ -270,19 +301,30 @@ bool WormholeSimulator::all_consumed() const {
 
 std::string WormholeSimulator::state_key() const {
   std::string key;
-  key.reserve(channels_.size() * 2 + messages_.size() * 8);
-  auto put32 = [&key](std::uint32_t v) {
-    key.push_back(static_cast<char>(v & 0xff));
-    key.push_back(static_cast<char>((v >> 8) & 0xff));
-    key.push_back(static_cast<char>((v >> 16) & 0xff));
-    key.push_back(static_cast<char>((v >> 24) & 0xff));
+  append_state_key(key);
+  return key;
+}
+
+void WormholeSimulator::append_state_key(std::string& out) const {
+  // Hot path of the deadlock search (called once per explored state):
+  // size the buffer exactly, then write through a raw pointer — per-byte
+  // push_back was a measurable fraction of search time.
+  const std::size_t base = out.size();
+  std::size_t bytes = channels_.size() * 8 + messages_.size() * 17;
+  for (const MessageState& m : messages_)
+    bytes += (m.path.size() - m.released) * 8;
+  out.resize(base + bytes);
+  char* p = out.data() + base;
+  const auto put32 = [&p](std::uint32_t v) {
+    std::memcpy(p, &v, sizeof v);  // state keys are process-local
+    p += sizeof v;
   };
   for (const ChannelState& ch : channels_) {
     put32(ch.owner.valid() ? ch.owner.value() + 1 : 0);
     put32(ch.count);
   }
   for (const MessageState& m : messages_) {
-    key.push_back(static_cast<char>(m.status));
+    *p++ = static_cast<char>(m.status);
     put32(m.flits_injected);
     put32(m.flits_consumed);
     put32(static_cast<std::uint32_t>(m.released));
@@ -292,7 +334,7 @@ std::string WormholeSimulator::state_key() const {
       put32(m.exited[j]);
     }
   }
-  return key;
+  WORMSIM_ASSERT(p == out.data() + out.size());
 }
 
 bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {

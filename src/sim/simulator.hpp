@@ -152,6 +152,12 @@ class WormholeSimulator {
   /// checker enforces that by construction.
   [[nodiscard]] std::string state_key() const;
 
+  /// state_key() into a caller-provided buffer: appends the key bytes to
+  /// `out` without clearing it. Reachability searches reuse one scratch
+  /// buffer across millions of states (plus a trailing suffix of their own,
+  /// e.g. the spent-delay vector), avoiding a heap string per lookup.
+  void append_state_key(std::string& out) const;
+
   /// Runs until completion, deadlock, or the cycle limit.
   RunResult run();
 
@@ -239,6 +245,12 @@ class WormholeSimulator {
   [[nodiscard]] std::vector<ChannelId> desired_channels(
       const MessageState& m) const;
 
+  /// desired_channels into a reusable buffer (cleared first). The per-cycle
+  /// request loops run this once per message; reusing one scratch vector
+  /// keeps the search's innermost loop allocation-free.
+  void desired_channels_into(const MessageState& m,
+                             std::vector<ChannelId>& out) const;
+
   /// Phase 1: advance the clock, tick stalls, and fill requests_. Returns
   /// whether any pending-time/stall progress occurred.
   bool compute_requests();
@@ -310,8 +322,22 @@ class WormholeSimulator {
   };
   Instruments instruments_;
 
-  // scratch, reused across cycles
-  std::vector<ChannelRequest> requests_;
+  /// Per-cycle request scratch. Copying a simulator deliberately does NOT
+  /// copy it: every reader runs compute_requests() first, so a forked
+  /// simulator's copy of the parent's list is pure allocation waste — and
+  /// the deadlock search forks once per explored transition.
+  struct RequestScratch {
+    std::vector<ChannelRequest> v;
+    RequestScratch() = default;
+    RequestScratch(const RequestScratch&) noexcept {}
+    RequestScratch& operator=(const RequestScratch& other) noexcept {
+      if (this != &other) v.clear();
+      return *this;
+    }
+    RequestScratch(RequestScratch&&) = default;
+    RequestScratch& operator=(RequestScratch&&) = default;
+  };
+  RequestScratch requests_;
 };
 
 /// Finds a cycle among messages blocked on channels owned by other blocked

@@ -1,0 +1,170 @@
+#include "analysis/state_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wormsim::analysis {
+namespace {
+
+std::vector<std::string> random_keys(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Binary keys of varied length, like real state serializations.
+    std::string key;
+    const std::size_t len = 1 + rng.below(64);
+    for (std::size_t j = 0; j < len; ++j)
+      key.push_back(static_cast<char>(rng.below(256)));
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+TEST(StateTable, InsertReportsFirstVisitExactlyOnce) {
+  StateTable table;
+  EXPECT_TRUE(table.insert("alpha"));
+  EXPECT_FALSE(table.insert("alpha"));
+  EXPECT_TRUE(table.insert("beta"));
+  EXPECT_FALSE(table.insert("beta"));
+  EXPECT_FALSE(table.insert("alpha"));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(StateTable, MatchesUnorderedSetReference) {
+  // Random binary keys with deliberate duplicates: the table must agree
+  // with std::unordered_set on every single insert() verdict.
+  auto keys = random_keys(2000, 12345);
+  auto dups = keys;
+  keys.insert(keys.end(), dups.begin(), dups.end());
+  util::Rng rng(99);
+  for (std::size_t i = keys.size(); i > 1; --i)
+    std::swap(keys[i - 1], keys[rng.below(i)]);
+
+  StateTable table(4);
+  std::unordered_set<std::string> reference;
+  for (const std::string& key : keys)
+    EXPECT_EQ(table.insert(key), reference.insert(key).second) << "key mismatch";
+  EXPECT_EQ(table.size(), reference.size());
+}
+
+TEST(StateTable, GrowsPastInitialCapacityPerStripe) {
+  // Far more keys than the initial slot count; all verdicts stay exact.
+  StateTable table;
+  const auto keys = random_keys(5000, 777);
+  std::unordered_set<std::string> reference;
+  for (const std::string& key : keys)
+    EXPECT_EQ(table.insert(key), reference.insert(key).second);
+  EXPECT_EQ(table.size(), reference.size());
+  for (const std::string& key : keys) EXPECT_FALSE(table.insert(key));
+}
+
+TEST(StateTable, StripeCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(StateTable(0).stripe_count(), 1u);
+  EXPECT_EQ(StateTable(1).stripe_count(), 1u);
+  EXPECT_EQ(StateTable(3).stripe_count(), 4u);
+  EXPECT_EQ(StateTable(8).stripe_count(), 8u);
+  EXPECT_EQ(StateTable(33).stripe_count(), 64u);
+}
+
+TEST(StateTable, HashBytesIsDeterministicAndLengthSensitive) {
+  EXPECT_EQ(hash_bytes(""), 0xcbf29ce484222325ull);  // FNV offset basis
+  EXPECT_EQ(hash_bytes("wormsim"), hash_bytes("wormsim"));
+  EXPECT_NE(hash_bytes("wormsim"), hash_bytes("wormsin"));
+  // Zero-padding of the final partial word must not alias keys that differ
+  // only by trailing NUL bytes (length is mixed into the digest).
+  const std::string a("a", 1);
+  const std::string b("a\0", 2);
+  EXPECT_NE(hash_bytes(a), hash_bytes(b));
+  // Lane boundaries: differing bytes in every position change the hash.
+  std::string base(17, 'x');
+  const std::uint64_t h = hash_bytes(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::string mutated = base;
+    mutated[i] = 'y';
+    EXPECT_NE(hash_bytes(mutated), h) << "byte " << i << " ignored";
+  }
+}
+
+TEST(StateTable, ZeroHashKeysAreStillStoredExactly) {
+  // Even if two keys landed on the remapped zero hash, exact key compare
+  // keeps them distinct; here just exercise insert/dup through insert_hashed
+  // with a forced hash of 0.
+  StateTable table;
+  EXPECT_TRUE(table.insert_hashed("first", 0));
+  EXPECT_FALSE(table.insert_hashed("first", 0));
+  EXPECT_TRUE(table.insert_hashed("second", 0));  // collides, differs
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(StateTable, AppendU32EncodesAllFourBytesLittleEndian) {
+  std::string key;
+  append_u32(key, 0x01020304u);
+  ASSERT_EQ(key.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(key[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(key[1]), 0x03);
+  EXPECT_EQ(static_cast<unsigned char>(key[2]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(key[3]), 0x01);
+}
+
+TEST(StateTable, SpentCountersDifferingBy256DoNotAlias) {
+  // Regression: the pre-StateTable search truncated each spent-delay
+  // counter to its low byte when building the memo key, so states whose
+  // counters differed by a multiple of 256 aliased whenever the budget
+  // exceeded 255 — silently skipping live subtrees.
+  std::string spent0;
+  std::string spent256;
+  append_u32(spent0, 0);
+  append_u32(spent256, 256);
+  EXPECT_NE(spent0, spent256);
+
+  StateTable table;
+  const std::string base = "state-bytes";
+  EXPECT_TRUE(table.insert(base + spent0));
+  EXPECT_TRUE(table.insert(base + spent256));  // distinct, not a revisit
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(StateTable, ConcurrentInsertersAgreeOnFirstVisit) {
+  // Every key is inserted by several threads; across all threads exactly
+  // one insert() per distinct key may return true. Run under TSan in CI.
+  const auto keys = random_keys(512, 4242);
+  constexpr unsigned kThreads = 4;
+  StateTable table(kThreads * 8);
+  std::vector<std::vector<char>> won(
+      kThreads, std::vector<char>(keys.size(), 0));
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t] {
+      // Each thread visits the keys in a different order.
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        const std::size_t k = (i * (t + 1) + t) % keys.size();
+        if (table.insert(keys[k])) won[t][k] = 1;
+      }
+    });
+  for (std::thread& th : pool) th.join();
+
+  std::unordered_set<std::string> distinct(keys.begin(), keys.end());
+  EXPECT_EQ(table.size(), distinct.size());
+  std::size_t total_wins = 0;
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    std::size_t wins = 0;
+    for (unsigned t = 0; t < kThreads; ++t) wins += won[t][k] != 0;
+    EXPECT_LE(wins, 1u) << "key " << k << " won twice";
+    total_wins += wins;
+  }
+  // Duplicate keys in the input can only win under one of their copies.
+  EXPECT_EQ(total_wins, distinct.size());
+}
+
+}  // namespace
+}  // namespace wormsim::analysis

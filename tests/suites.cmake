@@ -9,7 +9,9 @@ wormsim_test(analysis_tests
   analysis/configuration_test.cpp
   analysis/deadlock_search_test.cpp
   analysis/message_flow_test.cpp
+  analysis/parallel_search_test.cpp
   analysis/search_profile_test.cpp
+  analysis/state_table_test.cpp
   analysis/waitfor_test.cpp)
 
 wormsim_test(obs_tests
