@@ -1,0 +1,453 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "campaign/shrink.hpp"
+#include "core/analyzer.hpp"
+#include "obs/json.hpp"
+#include "routing/routing.hpp"
+
+namespace wormsim::campaign {
+
+namespace {
+
+// Stream salt for the acyclic-scenario probe messages; distinct from the
+// scenario's routing/chord salts so the probe never correlates with the
+// table it probes.
+constexpr std::uint64_t kProbeSalt = 0x51c3a87e9d24b6f1ull;
+
+void fold_search(Evaluation& eval, const analysis::DeadlockSearchResult& r) {
+  eval.states += r.states_explored;
+  eval.profile.merge_from(r.profile);
+}
+
+/// Probe messages for one elementary CDG cycle of a suffix-closed algorithm
+/// (Theorem 2's proof shape): each cycle channel gets a message injected at
+/// its tail, long enough to hold its in-cycle span. Returns an empty vector
+/// on a witness gap (some cycle edge has no traceable witness).
+std::vector<sim::MessageSpec> cycle_probe(
+    const routing::RoutingAlgorithm& alg,
+    const cdg::ChannelDependencyGraph& graph,
+    const std::vector<ChannelId>& cycle) {
+  std::unordered_set<std::uint32_t> in_cycle;
+  for (const ChannelId c : cycle) in_cycle.insert(c.value());
+
+  std::vector<sim::MessageSpec> specs;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const ChannelId c = cycle[i];
+    const ChannelId next = cycle[(i + 1) % cycle.size()];
+    const auto witnesses = graph.witnesses(c, next);
+    if (witnesses.empty()) return {};
+    sim::MessageSpec spec;
+    spec.src = alg.net().channel(c).src;
+    spec.dst = witnesses.front().dst;
+    const auto path = routing::trace_path(alg, spec.src, spec.dst);
+    if (!path) return {};
+    std::uint32_t span = 0;
+    for (const ChannelId pc : *path)
+      if (in_cycle.contains(pc.value())) ++span;
+    spec.length = std::max(1u, span);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+SearchOutcome outcome_of(const analysis::DeadlockSearchResult& r) {
+  if (r.deadlock_found) return SearchOutcome::kDeadlock;
+  return r.exhausted ? SearchOutcome::kNoDeadlock
+                     : SearchOutcome::kInconclusive;
+}
+
+/// Ground truth for a family scenario: the bounded-but-thorough family probe
+/// (base multiset plus long auxiliary copies).
+SearchOutcome family_ground_truth(Evaluation& eval,
+                                  const core::CyclicFamily& family,
+                                  const analysis::SearchLimits& limits) {
+  const auto probe = core::probe_family_deadlock(family, limits);
+  eval.states += probe.total_states;
+  eval.profile.merge_from(probe.search.profile);
+  if (probe.deadlock_found) return SearchOutcome::kDeadlock;
+  return probe.exhausted ? SearchOutcome::kNoDeadlock
+                         : SearchOutcome::kInconclusive;
+}
+
+/// Ground truth for a cyclic random algorithm: search the first elementary
+/// cycle with a complete probe (the classifier claims *every* cycle is
+/// reachable, so one cycle decides). kNotRun when no cycle can be fully
+/// probed (witness gap).
+SearchOutcome cyclic_ground_truth(Evaluation& eval,
+                                  const MaterializedScenario& live,
+                                  const EvalOptions& options,
+                                  const analysis::SearchLimits& limits) {
+  const auto cycles = live.graph->elementary_cycles(options.max_cycles_probed);
+  for (const auto& cycle : cycles) {
+    const auto specs = cycle_probe(*live.alg, *live.graph, cycle);
+    if (specs.size() != cycle.size()) continue;
+    const auto result = analysis::find_deadlock(
+        *live.alg, specs, analysis::AdversaryModel::kSynchronous, limits);
+    fold_search(eval, result);
+    return outcome_of(result);
+  }
+  return SearchOutcome::kNotRun;
+}
+
+/// Ground truth for an acyclic random algorithm: verify the Dally–Seitz
+/// numbering certificate, then search a seed-derived random message sample —
+/// any deadlock refutes the classical theorem (or the CDG construction).
+SearchOutcome acyclic_ground_truth(Evaluation& eval, const Scenario& scenario,
+                                   const MaterializedScenario& live,
+                                   const EvalOptions& options,
+                                   const analysis::SearchLimits& limits) {
+  const auto numbering = live.graph->topological_numbering();
+  if (!numbering || !live.graph->verify_numbering(*numbering))
+    return SearchOutcome::kDeadlock;  // certificate broken: treat as refuted
+
+  util::Rng rng(scenario.seed ^ kProbeSalt);
+  const std::size_t n = live.net->node_count();
+  std::vector<sim::MessageSpec> specs;
+  for (std::size_t i = 0;
+       i < options.acyclic_probe_messages && specs.size() < n * n; ++i) {
+    sim::MessageSpec spec;
+    spec.src = NodeId{rng.below(n)};
+    spec.dst = NodeId{rng.below(n)};
+    if (spec.dst == spec.src)
+      spec.dst = NodeId{(spec.src.index() + 1) % n};
+    const auto path = routing::trace_path(*live.alg, spec.src, spec.dst);
+    if (!path) continue;
+    spec.length = static_cast<std::uint32_t>(rng.range(1, 3));
+    specs.push_back(spec);
+  }
+  if (specs.empty()) return SearchOutcome::kNotRun;
+  const auto result = analysis::find_deadlock(
+      *live.alg, specs, analysis::AdversaryModel::kSynchronous, limits);
+  fold_search(eval, result);
+  return outcome_of(result);
+}
+
+/// Family ground truth is a pure function of the ring structure (family
+/// materialization is seed-free), and the discrete parameter space is small,
+/// so campaigns resample the same instances constantly — most expensively
+/// the two Section-6 generalized instances, whose exhaustive probes dominate
+/// an uncached run. The cache is keyed on the structure alone; cached
+/// replays return bit-identical outcome/states, so JSONL bytes are
+/// unaffected.
+struct FamilyTruth {
+  SearchOutcome outcome;
+  std::uint64_t states;
+  analysis::SearchProfile profile;
+};
+
+struct TruthCache {
+  std::mutex mu;
+  std::unordered_map<std::string, FamilyTruth> map;
+};
+
+std::string family_key(const core::CyclicFamilySpec& spec) {
+  std::ostringstream os;
+  os << (spec.hub_completion ? "H" : "-");
+  for (const core::CyclicMessageParams& p : spec.messages)
+    os << "|" << p.access << "," << p.hold << "," << (p.uses_shared ? 1 : 0);
+  return os.str();
+}
+
+SearchOutcome expected_outcome(Prediction prediction) {
+  switch (prediction) {
+    case Prediction::kDeadlockReachable: return SearchOutcome::kDeadlock;
+    case Prediction::kUnreachableCycle:
+    case Prediction::kDeadlockFree: return SearchOutcome::kNoDeadlock;
+    case Prediction::kOutOfScope: return SearchOutcome::kNotRun;
+  }
+  WORMSIM_UNREACHABLE("bad Prediction");
+}
+
+std::string fixture_json(const CampaignConfig& config,
+                         const ScenarioRecord& record,
+                         const Scenario& scenario,
+                         const std::optional<Scenario>& shrunk) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"campaign_seed\": " << config.seed << ",\n"
+     << "  \"index\": " << record.index << ",\n"
+     << "  \"rule\": " << obs::json::quote(record.rule) << ",\n"
+     << "  \"predicted\": \"" << to_string(record.prediction) << "\",\n"
+     << "  \"observed\": \"" << to_string(record.outcome) << "\",\n"
+     << "  \"scenario\": " << scenario.to_json();
+  if (shrunk) os << ",\n  \"shrunk\": " << shrunk->to_json();
+  os << "\n}\n";
+  return os.str();
+}
+
+Evaluation evaluate_impl(const Scenario& scenario, const EvalOptions& options,
+                         TruthCache* cache) {
+  Evaluation eval;
+  const MaterializedScenario live = materialize(scenario);
+  eval.classification = classify(scenario, live);
+
+  analysis::SearchLimits limits = options.limits;
+  limits.threads = 1;  // determinism; parallelism lives at the shard level
+  limits.build_witness = false;
+
+  const bool in_scope =
+      eval.classification.prediction != Prediction::kOutOfScope;
+  if (!in_scope && !options.probe_out_of_scope) {
+    eval.verdict = Verdict::kSkip;
+    eval.skip_reason = eval.classification.rule;
+    return eval;
+  }
+
+  if (scenario.kind == ScenarioKind::kFamily) {
+    std::string key;
+    bool cached = false;
+    if (cache != nullptr) {
+      key = family_key(scenario.family);
+      const std::scoped_lock lock(cache->mu);
+      if (const auto it = cache->map.find(key); it != cache->map.end()) {
+        eval.outcome = it->second.outcome;
+        eval.states = it->second.states;
+        eval.profile = it->second.profile;
+        cached = true;
+      }
+    }
+    if (!cached) {
+      eval.outcome = family_ground_truth(eval, *live.family, limits);
+      if (cache != nullptr) {
+        const std::scoped_lock lock(cache->mu);
+        cache->map.emplace(std::move(key),
+                           FamilyTruth{eval.outcome, eval.states, eval.profile});
+      }
+    }
+  } else if (eval.classification.cdg_cyclic) {
+    eval.outcome = cyclic_ground_truth(eval, live, options, limits);
+  } else {
+    eval.outcome = acyclic_ground_truth(eval, scenario, live, options, limits);
+  }
+
+  if (!in_scope) {
+    eval.verdict = Verdict::kSkip;
+    eval.skip_reason = eval.classification.rule;
+    return eval;
+  }
+  switch (eval.outcome) {
+    case SearchOutcome::kInconclusive:
+      eval.verdict = Verdict::kSkip;
+      eval.skip_reason = "search-limit";
+      return eval;
+    case SearchOutcome::kNotRun:
+      eval.verdict = Verdict::kSkip;
+      eval.skip_reason = "witness-gap";
+      return eval;
+    case SearchOutcome::kDeadlock:
+    case SearchOutcome::kNoDeadlock:
+      break;
+  }
+  eval.verdict = eval.outcome == expected_outcome(eval.classification.prediction)
+                     ? Verdict::kAgree
+                     : Verdict::kDisagree;
+  return eval;
+}
+
+}  // namespace
+
+Evaluation evaluate_scenario(const Scenario& scenario,
+                             const EvalOptions& options) {
+  return evaluate_impl(scenario, options, /*cache=*/nullptr);
+}
+
+Evaluation replay_scenario(const Scenario& scenario,
+                           const EvalOptions& options) {
+  return evaluate_scenario(scenario, options);
+}
+
+std::optional<Scenario> scenario_from_fixture(std::string_view text,
+                                              std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto at = text.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  const auto open = text.find('{', at);
+  if (open == std::string_view::npos) return std::nullopt;
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0)
+      return Scenario::from_json(text.substr(open, i - open + 1));
+  }
+  return std::nullopt;
+}
+
+std::string ScenarioRecord::to_json() const {
+  std::ostringstream os;
+  os << "{\"index\":" << index << ",\"seed\":" << seed << ",\"kind\":\""
+     << campaign::to_string(kind) << "\",\"rule\":" << obs::json::quote(rule)
+     << ",\"prediction\":\"" << campaign::to_string(prediction)
+     << "\",\"outcome\":\"" << campaign::to_string(outcome)
+     << "\",\"verdict\":\"" << campaign::to_string(verdict) << "\"";
+  if (!skip_reason.empty())
+    os << ",\"skip\":" << obs::json::quote(skip_reason);
+  os << ",\"states\":" << states << ",\"scenario\":" << scenario_json;
+  if (!shrunk_json.empty()) os << ",\"shrunk\":" << shrunk_json;
+  if (!fixture_path.empty())
+    os << ",\"fixture\":" << obs::json::quote(fixture_path);
+  os << "}";
+  return os.str();
+}
+
+void CampaignResult::write_jsonl(std::ostream& out) const {
+  for (const ScenarioRecord& record : records) out << record.to_json() << "\n";
+}
+
+obs::RunReport CampaignResult::report(const CampaignConfig& config) const {
+  obs::RunReport r;
+  r.name = "campaign";
+  r.kind = "campaign";
+  r.labels["seed"] = std::to_string(config.seed);
+  r.labels["outcome"] = disagree == 0 ? "clean" : "disagreements";
+  r.values["count"] = static_cast<double>(records.size());
+  r.values["agree"] = static_cast<double>(agree);
+  r.values["disagree"] = static_cast<double>(disagree);
+  r.values["skip"] = static_cast<double>(skip);
+  r.values["states_total"] = static_cast<double>(states_total);
+  r.values["shards"] = static_cast<double>(shards_used);
+  r.values["elapsed_seconds"] = elapsed_seconds;
+  r.values["scenarios_per_second"] =
+      elapsed_seconds > 0 ? static_cast<double>(records.size()) / elapsed_seconds
+                          : 0;
+  for (const auto& [rule, n] : rule_counts)
+    r.values["rule." + rule] = static_cast<double>(n);
+  for (const auto& [reason, n] : skip_counts)
+    r.values["skip." + reason] = static_cast<double>(n);
+  return r;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const ScenarioGenerator generator(config.seed, config.knobs);
+
+  CampaignResult result;
+  result.records.resize(config.count);
+
+  unsigned shards = config.shards != 0
+                        ? config.shards
+                        : std::max(1u, std::thread::hardware_concurrency());
+  if (config.count < shards)
+    shards = static_cast<unsigned>(std::max<std::uint64_t>(1, config.count));
+  result.shards_used = shards;
+
+  std::vector<analysis::SearchProfile> profiles(
+      config.collect_profile ? config.count : 0);
+
+  TruthCache cache;
+  std::atomic<std::uint64_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= config.count) return;
+      const Scenario scenario = generator.generate(i);
+      const Evaluation eval = evaluate_impl(scenario, config.eval, &cache);
+      ScenarioRecord& record = result.records[i];
+      record.index = i;
+      record.seed = scenario.seed;
+      record.kind = scenario.kind;
+      record.rule = eval.classification.rule;
+      record.prediction = eval.classification.prediction;
+      record.outcome = eval.outcome;
+      record.verdict = eval.verdict;
+      record.skip_reason = eval.skip_reason;
+      record.states = eval.states;
+      record.scenario_json = scenario.to_json();
+      if (config.collect_profile) profiles[i] = eval.profile;
+    }
+  };
+  if (shards == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(shards);
+    for (unsigned t = 0; t < shards; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Aggregate serially in index order so merged histograms and counters are
+  // independent of scheduling.
+  for (const ScenarioRecord& record : result.records) {
+    result.states_total += record.states;
+    ++result.rule_counts[record.rule];
+    switch (record.verdict) {
+      case Verdict::kAgree: ++result.agree; break;
+      case Verdict::kDisagree: ++result.disagree; break;
+      case Verdict::kSkip:
+        ++result.skip;
+        ++result.skip_counts[record.skip_reason];
+        break;
+    }
+  }
+  for (const analysis::SearchProfile& profile : profiles)
+    result.profile.merge_from(profile);
+
+  // Disagreements: shrink to a minimal reproducer and dump a fixture.
+  // Serial, so fixtures come out in index order.
+  for (ScenarioRecord& record : result.records) {
+    if (record.verdict != Verdict::kDisagree) continue;
+    const Scenario scenario = generator.generate(record.index);
+    std::optional<Scenario> shrunk;
+    if (config.shrink_disagreements) {
+      const std::string rule = record.rule;
+      const auto still_disagrees = [&](const Scenario& candidate) {
+        const Evaluation eval = evaluate_impl(candidate, config.eval, &cache);
+        return eval.verdict == Verdict::kDisagree &&
+               eval.classification.rule == rule;
+      };
+      const ShrinkResult shrink =
+          shrink_scenario(scenario, still_disagrees, config.shrink_budget);
+      shrunk = shrink.minimal;
+      record.shrunk_json = shrink.minimal.to_json();
+    }
+    if (!config.fixture_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(config.fixture_dir, ec);
+      std::ostringstream name;
+      name << "campaign_disagreement_s" << config.seed << "_i" << record.index
+           << ".json";
+      const std::filesystem::path path =
+          std::filesystem::path(config.fixture_dir) / name.str();
+      std::ofstream out(path);
+      if (out) {
+        out << fixture_json(config, record, scenario, shrunk);
+        record.fixture_path = path.string();
+      }
+    }
+  }
+
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+const char* to_string(SearchOutcome outcome) {
+  switch (outcome) {
+    case SearchOutcome::kNotRun: return "not-run";
+    case SearchOutcome::kDeadlock: return "deadlock";
+    case SearchOutcome::kNoDeadlock: return "no-deadlock";
+    case SearchOutcome::kInconclusive: return "inconclusive";
+  }
+  WORMSIM_UNREACHABLE("bad SearchOutcome");
+}
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAgree: return "agree";
+    case Verdict::kDisagree: return "disagree";
+    case Verdict::kSkip: return "skip";
+  }
+  WORMSIM_UNREACHABLE("bad Verdict");
+}
+
+}  // namespace wormsim::campaign

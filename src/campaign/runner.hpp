@@ -1,0 +1,149 @@
+// Sharded campaign execution: generate -> classify -> search -> verdict.
+//
+// The runner draws `count` scenarios from a seeded ScenarioGenerator,
+// classifies each against the paper's results, cross-checks in-scope
+// predictions with the exhaustive reachability search (the operational
+// ground truth), and records one verdict per scenario:
+//
+//   agree     — prediction and search outcome match
+//   disagree  — the search refutes the prediction (a bug in the theorem
+//               checkers, the classifier's scope, or the search itself);
+//               the scenario is shrunk to a minimal reproducer and dumped
+//               as a JSON fixture for regression replay
+//   skip      — no validated prediction applies (out-of-scope), the search
+//               hit its state budget, or a probe could not be built
+//
+// Determinism: scenario i is a pure function of (seed, i), every
+// ground-truth search runs single-threaded, and records are emitted in
+// index order — so the JSONL output is byte-identical across runs and
+// shard counts, while shards scale wall-clock near-linearly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/deadlock_search.hpp"
+#include "campaign/classifier.hpp"
+#include "campaign/scenario.hpp"
+#include "obs/run_report.hpp"
+
+namespace wormsim::campaign {
+
+enum class SearchOutcome : std::uint8_t {
+  kNotRun,        ///< ground truth skipped (out-of-scope, probe gap)
+  kDeadlock,      ///< the search reached a deadlock configuration
+  kNoDeadlock,    ///< the bounded space was exhausted without one
+  kInconclusive,  ///< state budget hit before a decision
+};
+
+enum class Verdict : std::uint8_t { kAgree, kDisagree, kSkip };
+
+struct EvalOptions {
+  /// Per-scenario search limits. threads is forced to 1 — parallelism
+  /// belongs to the shard level so states_explored stays deterministic.
+  analysis::SearchLimits limits;
+  /// Random-algorithm scenarios: elementary cycles examined for a probe
+  /// before declaring a witness gap.
+  std::size_t max_cycles_probed = 8;
+  /// Random acyclic scenarios: messages in the sampled no-deadlock probe.
+  std::size_t acyclic_probe_messages = 4;
+  /// Also run the search on out-of-scope scenarios (informational; the
+  /// verdict stays kSkip). Off by default — it is where the CPU time goes.
+  bool probe_out_of_scope = false;
+};
+
+/// Everything the campaign learned about one scenario.
+struct Evaluation {
+  Classification classification;
+  SearchOutcome outcome = SearchOutcome::kNotRun;
+  Verdict verdict = Verdict::kSkip;
+  /// Why a skip was skipped: the out-of-scope rule name, "search-limit",
+  /// or "witness-gap".
+  std::string skip_reason;
+  std::uint64_t states = 0;  ///< states explored across all probes
+  analysis::SearchProfile profile;  ///< merged over this scenario's searches
+};
+
+/// Classifies and cross-checks one scenario. Deterministic.
+[[nodiscard]] Evaluation evaluate_scenario(const Scenario& scenario,
+                                           const EvalOptions& options);
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t count = 1000;
+  /// Worker threads; scenarios are dealt dynamically. 0 means
+  /// std::thread::hardware_concurrency().
+  unsigned shards = 1;
+  GeneratorKnobs knobs;
+  EvalOptions eval;
+  /// Aggregate SearchProfiles across all scenarios into the result.
+  bool collect_profile = false;
+  /// Shrink any disagreement and dump a JSON reproducer fixture.
+  bool shrink_disagreements = true;
+  std::size_t shrink_budget = 200;  ///< predicate evaluations per shrink
+  /// Directory for reproducer fixtures; empty disables dumping.
+  std::string fixture_dir = ".";
+};
+
+struct ScenarioRecord {
+  std::uint64_t index = 0;
+  std::uint64_t seed = 0;
+  ScenarioKind kind = ScenarioKind::kFamily;
+  std::string rule;
+  Prediction prediction = Prediction::kOutOfScope;
+  SearchOutcome outcome = SearchOutcome::kNotRun;
+  Verdict verdict = Verdict::kSkip;
+  std::string skip_reason;
+  std::uint64_t states = 0;
+  std::string scenario_json;  ///< replayable Scenario::to_json()
+  std::string fixture_path;   ///< written reproducer, when disagreeing
+  std::string shrunk_json;    ///< minimal reproducer scenario, when found
+
+  /// One JSONL line. Contains no timing or shard information, so reruns
+  /// with any shard count reproduce identical bytes.
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct CampaignResult {
+  std::vector<ScenarioRecord> records;  ///< index order
+  std::uint64_t agree = 0;
+  std::uint64_t disagree = 0;
+  std::uint64_t skip = 0;
+  std::uint64_t states_total = 0;
+  std::map<std::string, std::uint64_t> rule_counts;
+  std::map<std::string, std::uint64_t> skip_counts;
+  double elapsed_seconds = 0;
+  unsigned shards_used = 1;
+  analysis::SearchProfile profile;  ///< merged when collect_profile
+
+  /// Writes one JSONL line per scenario, in index order.
+  void write_jsonl(std::ostream& out) const;
+
+  /// Flat RunReport (BENCH_campaign.json shape) for the perf trajectory.
+  [[nodiscard]] obs::RunReport report(const CampaignConfig& config) const;
+};
+
+/// Runs the campaign described by `config`. Thread-safe within itself; the
+/// call blocks until all scenarios are evaluated.
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+/// Re-evaluates a single scenario (replay / fixture regression). Returns
+/// the full evaluation; callers decide what verdict to demand.
+[[nodiscard]] Evaluation replay_scenario(const Scenario& scenario,
+                                         const EvalOptions& options);
+
+/// Extracts the scenario object embedded under `key` ("shrunk" or
+/// "scenario") in a disagreement fixture's JSON text. nullopt when the key
+/// is absent or the object does not parse as a Scenario.
+[[nodiscard]] std::optional<Scenario> scenario_from_fixture(
+    std::string_view text, std::string_view key);
+
+const char* to_string(SearchOutcome outcome);
+const char* to_string(Verdict verdict);
+
+}  // namespace wormsim::campaign

@@ -1,0 +1,467 @@
+#include "campaign/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "routing/random_routing.hpp"
+
+namespace wormsim::campaign {
+
+namespace {
+
+// Salts separating the independent random streams derived from one
+// scenario seed (chord placement vs. routing-table generation); arbitrary
+// odd constants.
+constexpr std::uint64_t kRoutingSalt = 0xa2b7c93d51e6f847ull;
+constexpr std::uint64_t kChordSalt = 0x6d1fb3a9428c7e15ull;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int irange(util::Rng& rng, int lo, int hi) {
+  return static_cast<int>(rng.range(lo, hi));
+}
+
+topo::Network build_topology(const Scenario& s) {
+  switch (s.topology) {
+    case TopologyKind::kUniRing:
+      return topo::make_unidirectional_ring(s.nodes, s.lanes);
+    case TopologyKind::kBiRing:
+      return topo::make_bidirectional_ring(s.nodes, s.lanes);
+    case TopologyKind::kMesh:
+      return topo::make_mesh(s.dims, s.lanes).net();
+    case TopologyKind::kTorus:
+      return topo::make_torus(s.dims, s.lanes).net();
+    case TopologyKind::kHypercube:
+      return topo::make_hypercube(s.nodes);
+    case TopologyKind::kComplete:
+      return topo::make_complete(s.nodes);
+  }
+  WORMSIM_UNREACHABLE("bad TopologyKind");
+}
+
+/// Adds the scenario's chord channels: random (src, dst) pairs on the first
+/// free virtual lane. Adding channels preserves strong connectivity.
+void add_chords(topo::Network& net, const Scenario& s) {
+  if (s.extra_chords == 0) return;
+  util::Rng rng(s.seed ^ kChordSalt);
+  const std::size_t n = net.node_count();
+  for (int i = 0; i < s.extra_chords; ++i) {
+    const NodeId src{rng.below(n)};
+    NodeId dst{rng.below(n)};
+    if (dst == src) dst = NodeId{(src.index() + 1) % n};
+    std::uint16_t lane = 0;
+    while (net.find_channel(src, dst, lane)) ++lane;
+    net.add_channel(src, dst, lane);
+  }
+}
+
+}  // namespace
+
+int Scenario::sharing_count() const {
+  int sharers = 0;
+  for (const core::CyclicMessageParams& p : family.messages)
+    if (p.uses_shared) ++sharers;
+  return sharers;
+}
+
+std::string Scenario::describe() const {
+  std::ostringstream os;
+  if (kind == ScenarioKind::kFamily) {
+    os << "family m=" << family.messages.size() << " s=" << sharing_count()
+       << " [";
+    for (std::size_t i = 0; i < family.messages.size(); ++i) {
+      const auto& p = family.messages[i];
+      os << (i ? " " : "") << "(" << p.access << "," << p.hold << ","
+         << (p.uses_shared ? "S" : "-") << ")";
+    }
+    os << "]";
+  } else {
+    os << "random " << to_string(topology);
+    if (topology == TopologyKind::kMesh || topology == TopologyKind::kTorus) {
+      os << " dims=";
+      for (std::size_t i = 0; i < dims.size(); ++i)
+        os << (i ? "x" : "") << dims[i];
+    } else {
+      os << " n=" << nodes;
+    }
+    if (lanes > 1) os << " lanes=" << lanes;
+    if (extra_chords > 0) os << " chords=" << extra_chords;
+    os << " " << to_string(flavor);
+  }
+  return os.str();
+}
+
+std::string Scenario::to_json() const {
+  std::ostringstream os;
+  os << "{\"index\":" << index << ",\"seed\":" << seed << ",\"kind\":\""
+     << to_string(kind) << "\"";
+  if (kind == ScenarioKind::kFamily) {
+    os << ",\"name\":" << obs::json::quote(family.name)
+       << ",\"hub\":" << (family.hub_completion ? "true" : "false")
+       << ",\"messages\":[";
+    for (std::size_t i = 0; i < family.messages.size(); ++i) {
+      const auto& p = family.messages[i];
+      os << (i ? "," : "") << "[" << p.access << "," << p.hold << ","
+         << (p.uses_shared ? 1 : 0) << "]";
+    }
+    os << "]";
+  } else {
+    os << ",\"topology\":\"" << to_string(topology) << "\",\"dims\":[";
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      os << (i ? "," : "") << dims[i];
+    os << "],\"nodes\":" << nodes << ",\"lanes\":" << lanes
+       << ",\"chords\":" << extra_chords << ",\"flavor\":\""
+       << to_string(flavor) << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+namespace {
+
+// The obs::json parser stores numbers as double, which silently truncates
+// 64-bit seeds above 2^53. Seeds must survive a round-trip bit-exactly (a
+// replayed scenario regenerates its routing table from the seed), so pull
+// the digits straight out of the text instead.
+std::optional<std::uint64_t> extract_u64_field(std::string_view text,
+                                               std::string_view key) {
+  const std::string marker = "\"" + std::string(key) + "\":";
+  const auto at = text.find(marker);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t i = at + marker.size();
+  while (i < text.size() && text[i] == ' ') ++i;
+  std::uint64_t value = 0;
+  bool any = false;
+  for (; i < text.size() && text[i] >= '0' && text[i] <= '9'; ++i) {
+    value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<Scenario> Scenario::from_json(std::string_view text) {
+  const auto parsed = obs::json::parse(text);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+  const auto* index = parsed->find("index");
+  const auto* seed = parsed->find("seed");
+  const auto* kind = parsed->find("kind");
+  if (!index || !index->is_number() || !seed || !seed->is_number() || !kind ||
+      !kind->is_string())
+    return std::nullopt;
+
+  Scenario s;
+  s.index = static_cast<std::uint64_t>(index->as_number());
+  const auto exact_seed = extract_u64_field(text, "seed");
+  if (!exact_seed) return std::nullopt;
+  s.seed = *exact_seed;
+
+  if (kind->as_string() == "family") {
+    s.kind = ScenarioKind::kFamily;
+    const auto* name = parsed->find("name");
+    const auto* hub = parsed->find("hub");
+    const auto* messages = parsed->find("messages");
+    if (!messages || !messages->is_array()) return std::nullopt;
+    s.family.name = name && name->is_string() ? name->as_string() : "fam";
+    s.family.hub_completion = hub && hub->is_bool() && hub->as_bool();
+    for (const auto& entry : messages->as_array()) {
+      if (!entry.is_array() || entry.as_array().size() != 3)
+        return std::nullopt;
+      const auto& triple = entry.as_array();
+      if (!triple[0].is_number() || !triple[1].is_number() ||
+          !triple[2].is_number())
+        return std::nullopt;
+      core::CyclicMessageParams p;
+      p.access = static_cast<int>(triple[0].as_number());
+      p.hold = static_cast<int>(triple[1].as_number());
+      p.uses_shared = triple[2].as_number() != 0;
+      s.family.messages.push_back(p);
+    }
+    if (!family_spec_buildable(s.family)) return std::nullopt;
+    return s;
+  }
+
+  if (kind->as_string() != "random") return std::nullopt;
+  s.kind = ScenarioKind::kRandomAlgorithm;
+  const auto* topology = parsed->find("topology");
+  const auto* dims = parsed->find("dims");
+  const auto* nodes = parsed->find("nodes");
+  const auto* lanes = parsed->find("lanes");
+  const auto* chords = parsed->find("chords");
+  const auto* flavor = parsed->find("flavor");
+  if (!topology || !topology->is_string() || !nodes || !nodes->is_number())
+    return std::nullopt;
+  const std::string& topo_name = topology->as_string();
+  bool known = false;
+  for (const TopologyKind k :
+       {TopologyKind::kUniRing, TopologyKind::kBiRing, TopologyKind::kMesh,
+        TopologyKind::kTorus, TopologyKind::kHypercube,
+        TopologyKind::kComplete}) {
+    if (topo_name == to_string(k)) {
+      s.topology = k;
+      known = true;
+    }
+  }
+  if (!known) return std::nullopt;
+  if (dims && dims->is_array())
+    for (const auto& d : dims->as_array()) {
+      if (!d.is_number()) return std::nullopt;
+      s.dims.push_back(static_cast<int>(d.as_number()));
+    }
+  s.nodes = static_cast<int>(nodes->as_number());
+  s.lanes = lanes && lanes->is_number()
+                ? static_cast<std::uint16_t>(lanes->as_number())
+                : std::uint16_t{1};
+  s.extra_chords =
+      chords && chords->is_number() ? static_cast<int>(chords->as_number()) : 0;
+  s.flavor = flavor && flavor->is_string() &&
+                     flavor->as_string() == to_string(RoutingFlavor::kRandomMinimal)
+                 ? RoutingFlavor::kRandomMinimal
+                 : RoutingFlavor::kRandomTree;
+  return s;
+}
+
+bool family_spec_buildable(const core::CyclicFamilySpec& spec) {
+  const std::size_t m = spec.messages.size();
+  if (m < 2) return false;
+  for (const core::CyclicMessageParams& p : spec.messages) {
+    if (p.hold < 1) return false;
+    if (p.access < (p.uses_shared ? 2 : 1)) return false;
+    // A 2-message ring with a unit segment puts a message's destination on
+    // its own earlier path (D_i collapses onto the opposite entry node),
+    // which PathTable rejects as "passes through the destination".
+    if (m == 2 && p.hold < 2) return false;
+  }
+  return true;
+}
+
+MaterializedScenario materialize(const Scenario& scenario) {
+  MaterializedScenario m;
+  if (scenario.kind == ScenarioKind::kFamily) {
+    WORMSIM_EXPECTS_MSG(family_spec_buildable(scenario.family),
+                        "unbuildable family spec");
+    m.family = std::make_unique<core::CyclicFamily>(scenario.family);
+    return m;
+  }
+  m.net = std::make_unique<topo::Network>(build_topology(scenario));
+  add_chords(*m.net, scenario);
+  util::Rng rng(scenario.seed ^ kRoutingSalt);
+  m.alg = scenario.flavor == RoutingFlavor::kRandomTree
+              ? routing::random_tree_routing(*m.net, rng)
+              : routing::random_minimal_routing(*m.net, rng);
+  m.graph = std::make_unique<cdg::ChannelDependencyGraph>(
+      cdg::ChannelDependencyGraph::build(*m.alg));
+  return m;
+}
+
+ScenarioGenerator::ScenarioGenerator(std::uint64_t campaign_seed,
+                                     GeneratorKnobs knobs)
+    : campaign_seed_(campaign_seed), knobs_(knobs) {
+  WORMSIM_EXPECTS(knobs_.min_messages >= 2);
+  WORMSIM_EXPECTS(knobs_.max_messages >= knobs_.min_messages);
+  WORMSIM_EXPECTS(knobs_.min_sharers >= 0);
+  WORMSIM_EXPECTS(knobs_.max_sharers >= knobs_.min_sharers);
+  WORMSIM_EXPECTS(knobs_.max_access >= 2);
+  WORMSIM_EXPECTS(knobs_.max_hold >= 2);
+  WORMSIM_EXPECTS(knobs_.max_ring_nodes >= 3);
+  WORMSIM_EXPECTS(knobs_.max_mesh_radix >= 2);
+}
+
+std::uint64_t ScenarioGenerator::derive_seed(std::uint64_t campaign_seed,
+                                             std::uint64_t index) {
+  return splitmix64(splitmix64(campaign_seed) ^
+                    splitmix64(index * 0x9e3779b97f4a7c15ull + 1));
+}
+
+Scenario ScenarioGenerator::generate(std::uint64_t index) const {
+  const std::uint64_t seed = derive_seed(campaign_seed_, index);
+  util::Rng rng(seed);
+  const bool forbid_cycles = knobs_.cycle_bias == CycleBias::kForbid;
+  const bool family =
+      !forbid_cycles && rng.chance(knobs_.family_fraction);
+  Scenario s = family ? sample_family(rng) : sample_random_algorithm(rng);
+  s.index = index;
+  // Random-algorithm scenarios carry the per-attempt materialization seed
+  // chosen inside the sampler (cycle-bias retries must keep the seed that
+  // produced the accepted CDG); family materialization is seed-free.
+  if (s.kind == ScenarioKind::kFamily) {
+    s.seed = seed;
+    if (s.family.name.empty() || s.family.name == "cyclic-family")
+      s.family.name = "fam";
+  }
+  return s;
+}
+
+Scenario ScenarioGenerator::sample_family(util::Rng& rng) const {
+  Scenario s;
+  s.kind = ScenarioKind::kFamily;
+
+  if (rng.chance(knobs_.section6_fraction)) {
+    // Exact Section-6 generalized instance (k = 1 is Figure 1): a provably
+    // unreachable cycle, exercising the campaign's "unreachable" verdict.
+    s.family = core::generalized_spec(irange(rng, 1, 2));
+    return s;
+  }
+
+  const int m = irange(rng, knobs_.min_messages, knobs_.max_messages);
+  const int sharers =
+      std::clamp(irange(rng, knobs_.min_sharers, knobs_.max_sharers), 0, m);
+
+  if (sharers == 3 && m >= 3 && knobs_.max_access >= 4 &&
+      rng.chance(knobs_.theorem5_shape_bias)) {
+    // Figure-3 shape: three sharers with distinct accesses placed around
+    // the ring in the order A, C, B, holds biased long so that Theorem 5's
+    // conditions frequently all hold.
+    const int aC = irange(rng, 2, knobs_.max_access - 2);
+    const int aB = irange(rng, aC + 1, knobs_.max_access - 1);
+    const int aA = irange(rng, aB + 1, knobs_.max_access);
+    const int hold_hi = std::max(knobs_.max_hold, aA + 2);
+    core::CyclicMessageParams A{aA, irange(rng, aA + 1, hold_hi), true};
+    core::CyclicMessageParams C{aC, irange(rng, aA - aC + 1, hold_hi), true};
+    core::CyclicMessageParams B{aB, irange(rng, aB + 1, hold_hi), true};
+    s.family.messages = {A, C, B};
+    if (m > 3) {
+      // Interpose a non-sharing ring message at a random position (the
+      // device Figure 3 (c), (e), (f) use). These land in the classifier's
+      // "theorem5-open" region — the condition reconstruction is validated
+      // only for 3-message rings — but keep the open region populated.
+      core::CyclicMessageParams extra{irange(rng, 1, knobs_.max_access),
+                                      irange(rng, 1, knobs_.max_hold), false};
+      const auto at = static_cast<std::size_t>(irange(rng, 0, 3));
+      s.family.messages.insert(
+          s.family.messages.begin() + static_cast<std::ptrdiff_t>(at), extra);
+    }
+    return s;
+  }
+
+  std::vector<bool> shares(static_cast<std::size_t>(m), false);
+  for (int i = 0; i < sharers; ++i) shares[static_cast<std::size_t>(i)] = true;
+  std::shuffle(shares.begin(), shares.end(), rng);
+  const int min_hold = m == 2 ? 2 : 1;
+  for (int i = 0; i < m; ++i) {
+    core::CyclicMessageParams p;
+    p.uses_shared = shares[static_cast<std::size_t>(i)];
+    p.access = irange(rng, p.uses_shared ? 2 : 1, knobs_.max_access);
+    p.hold = irange(rng, min_hold, knobs_.max_hold);
+    s.family.messages.push_back(p);
+  }
+  return s;
+}
+
+Scenario ScenarioGenerator::sample_random_algorithm(util::Rng& rng) const {
+  const int tries = knobs_.cycle_bias == CycleBias::kAny ? 1 : 24;
+  Scenario s;
+  for (int attempt = 0; attempt < tries; ++attempt) {
+    s = Scenario{};
+    s.kind = ScenarioKind::kRandomAlgorithm;
+    s.seed = rng.next_u64();  // materialization stream for this attempt
+    const int kind_count = 6;
+    switch (irange(rng, 0, kind_count - 1)) {
+      case 0:
+        s.topology = TopologyKind::kUniRing;
+        s.nodes = irange(rng, 3, knobs_.max_ring_nodes);
+        s.lanes = static_cast<std::uint16_t>(
+            irange(rng, 1, static_cast<int>(knobs_.max_lanes)));
+        break;
+      case 1:
+        s.topology = TopologyKind::kBiRing;
+        s.nodes = irange(rng, 3, std::max(3, knobs_.max_ring_nodes - 1));
+        break;
+      case 2:
+        s.topology = TopologyKind::kMesh;
+        if (rng.chance(0.3)) {
+          s.dims = {irange(rng, 3, 6)};  // 1-D line
+        } else {
+          s.dims = {irange(rng, 2, knobs_.max_mesh_radix),
+                    irange(rng, 2, knobs_.max_mesh_radix)};
+        }
+        break;
+      case 3:
+        s.topology = TopologyKind::kTorus;
+        s.dims = {irange(rng, 3, knobs_.max_mesh_radix),
+                  irange(rng, 2, knobs_.max_mesh_radix)};
+        break;
+      case 4:
+        s.topology = TopologyKind::kHypercube;
+        s.nodes = irange(rng, 2, knobs_.max_hypercube_dim);
+        break;
+      case 5:
+        s.topology = TopologyKind::kComplete;
+        s.nodes = irange(rng, 3, knobs_.max_complete_nodes);
+        break;
+      default:
+        WORMSIM_UNREACHABLE("bad topology draw");
+    }
+    if ((s.topology == TopologyKind::kMesh ||
+         s.topology == TopologyKind::kBiRing ||
+         s.topology == TopologyKind::kUniRing) &&
+        rng.chance(knobs_.perturb_fraction)) {
+      s.extra_chords = irange(rng, 1, knobs_.max_extra_chords);
+    }
+    s.flavor = rng.chance(0.5) ? RoutingFlavor::kRandomTree
+                               : RoutingFlavor::kRandomMinimal;
+
+    if (knobs_.cycle_bias == CycleBias::kAny) return s;
+    const MaterializedScenario live = materialize(s);
+    const bool acyclic = live.graph->acyclic();
+    if (knobs_.cycle_bias == CycleBias::kForce && !acyclic) return s;
+    if (knobs_.cycle_bias == CycleBias::kForbid && acyclic) return s;
+  }
+  // Best-effort fallback: by-construction matches for either bias. A total
+  // routing on a unidirectional ring always closes the CDG ring; minimal
+  // routing on a line is monotone, hence acyclic.
+  if (knobs_.cycle_bias == CycleBias::kForce) {
+    s.topology = TopologyKind::kUniRing;
+    s.nodes = 4;
+    s.lanes = 1;
+    s.dims.clear();
+    s.extra_chords = 0;
+  } else {
+    s.topology = TopologyKind::kMesh;
+    s.dims = {4};
+    s.nodes = 0;
+    s.lanes = 1;
+    s.extra_chords = 0;
+    s.flavor = RoutingFlavor::kRandomMinimal;
+  }
+  return s;
+}
+
+const char* to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kFamily: return "family";
+    case ScenarioKind::kRandomAlgorithm: return "random";
+  }
+  WORMSIM_UNREACHABLE("bad ScenarioKind");
+}
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kUniRing: return "uniring";
+    case TopologyKind::kBiRing: return "biring";
+    case TopologyKind::kMesh: return "mesh";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kHypercube: return "hypercube";
+    case TopologyKind::kComplete: return "complete";
+  }
+  WORMSIM_UNREACHABLE("bad TopologyKind");
+}
+
+const char* to_string(RoutingFlavor flavor) {
+  switch (flavor) {
+    case RoutingFlavor::kRandomTree: return "tree";
+    case RoutingFlavor::kRandomMinimal: return "minimal";
+  }
+  WORMSIM_UNREACHABLE("bad RoutingFlavor");
+}
+
+}  // namespace wormsim::campaign

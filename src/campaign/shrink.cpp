@@ -1,0 +1,143 @@
+#include "campaign/shrink.hpp"
+
+namespace wormsim::campaign {
+
+namespace {
+
+void family_steps(const Scenario& scenario, std::vector<Scenario>& out) {
+  const auto& messages = scenario.family.messages;
+  const std::size_t m = messages.size();
+
+  // Drop a whole ring message (rings need >= 2, and dropping down to a
+  // 2-message ring must respect the hold >= 2 floor).
+  if (m > 2) {
+    for (std::size_t i = 0; i < m; ++i) {
+      Scenario candidate = scenario;
+      candidate.family.messages.erase(
+          candidate.family.messages.begin() + static_cast<std::ptrdiff_t>(i));
+      if (family_spec_buildable(candidate.family))
+        out.push_back(std::move(candidate));
+    }
+  }
+
+  const int min_hold = m == 2 ? 2 : 1;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (messages[i].hold > min_hold) {
+      Scenario candidate = scenario;
+      --candidate.family.messages[i].hold;
+      out.push_back(std::move(candidate));
+    }
+    const int min_access = messages[i].uses_shared ? 2 : 1;
+    if (messages[i].access > min_access) {
+      Scenario candidate = scenario;
+      --candidate.family.messages[i].access;
+      out.push_back(std::move(candidate));
+    }
+    if (messages[i].uses_shared) {
+      // Detach from the shared channel (simplifies the sharing structure).
+      Scenario candidate = scenario;
+      candidate.family.messages[i].uses_shared = false;
+      candidate.family.messages[i].access = 1;
+      out.push_back(std::move(candidate));
+    }
+  }
+  if (scenario.family.hub_completion) {
+    Scenario candidate = scenario;
+    candidate.family.hub_completion = false;
+    out.push_back(std::move(candidate));
+  }
+}
+
+void random_algorithm_steps(const Scenario& scenario,
+                            std::vector<Scenario>& out) {
+  // Shrink the topology first — a smaller network shrinks everything
+  // downstream (routing table, CDG, search space).
+  switch (scenario.topology) {
+    case TopologyKind::kUniRing:
+    case TopologyKind::kBiRing:
+      if (scenario.nodes > 3) {
+        Scenario candidate = scenario;
+        --candidate.nodes;
+        out.push_back(std::move(candidate));
+      }
+      break;
+    case TopologyKind::kMesh:
+    case TopologyKind::kTorus: {
+      const int floor = scenario.topology == TopologyKind::kTorus ? 2 : 2;
+      for (std::size_t d = 0; d < scenario.dims.size(); ++d) {
+        if (scenario.dims[d] > floor) {
+          Scenario candidate = scenario;
+          --candidate.dims[d];
+          out.push_back(std::move(candidate));
+        }
+      }
+      if (scenario.dims.size() > 1) {
+        for (std::size_t d = 0; d < scenario.dims.size(); ++d) {
+          Scenario candidate = scenario;
+          candidate.dims.erase(candidate.dims.begin() +
+                               static_cast<std::ptrdiff_t>(d));
+          out.push_back(std::move(candidate));
+        }
+      }
+      break;
+    }
+    case TopologyKind::kHypercube:
+      if (scenario.nodes > 1) {
+        Scenario candidate = scenario;
+        --candidate.nodes;
+        out.push_back(std::move(candidate));
+      }
+      break;
+    case TopologyKind::kComplete:
+      if (scenario.nodes > 3) {
+        Scenario candidate = scenario;
+        --candidate.nodes;
+        out.push_back(std::move(candidate));
+      }
+      break;
+  }
+  if (scenario.extra_chords > 0) {
+    Scenario candidate = scenario;
+    --candidate.extra_chords;
+    out.push_back(std::move(candidate));
+  }
+  if (scenario.lanes > 1) {
+    Scenario candidate = scenario;
+    candidate.lanes = 1;
+    out.push_back(std::move(candidate));
+  }
+}
+
+}  // namespace
+
+std::vector<Scenario> shrink_steps(const Scenario& scenario) {
+  std::vector<Scenario> out;
+  if (scenario.kind == ScenarioKind::kFamily)
+    family_steps(scenario, out);
+  else
+    random_algorithm_steps(scenario, out);
+  return out;
+}
+
+ShrinkResult shrink_scenario(const Scenario& start,
+                             const ScenarioPredicate& interesting,
+                             std::size_t max_evaluations) {
+  ShrinkResult result;
+  result.minimal = start;
+  bool progressed = true;
+  while (progressed && result.evaluations < max_evaluations) {
+    progressed = false;
+    for (Scenario& candidate : shrink_steps(result.minimal)) {
+      if (result.evaluations >= max_evaluations) break;
+      ++result.evaluations;
+      if (!interesting(candidate)) continue;
+      result.minimal = std::move(candidate);
+      ++result.accepted;
+      progressed = true;
+      break;  // restart from the smaller scenario
+    }
+  }
+  return result;
+}
+
+}  // namespace wormsim::campaign

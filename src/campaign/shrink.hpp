@@ -1,0 +1,43 @@
+// Greedy scenario minimization.
+//
+// When the runner finds a classifier-vs-search disagreement it does not stop
+// at "scenario #8317 failed": the shrinker walks the scenario down to a
+// locally minimal instance that still exhibits the property of interest, so
+// the committed reproducer is small enough to debug by hand (and cheap
+// enough to replay in CI forever). The "property of interest" is an
+// arbitrary predicate, which keeps the shrinker testable without a real
+// classifier bug: tests drive it with synthetic predicates.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+
+namespace wormsim::campaign {
+
+/// Returns true when the candidate still exhibits the behaviour being
+/// minimized (for the runner: "classifier and search still disagree").
+using ScenarioPredicate = std::function<bool(const Scenario&)>;
+
+/// All one-step reductions of `scenario`, most aggressive first (drop a ring
+/// message / shrink the topology before decrementing a single parameter).
+/// Every candidate is structurally valid (family specs stay buildable,
+/// topology sizes stay above their builders' minima).
+[[nodiscard]] std::vector<Scenario> shrink_steps(const Scenario& scenario);
+
+struct ShrinkResult {
+  Scenario minimal;          ///< locally minimal interesting scenario
+  std::size_t evaluations = 0;  ///< predicate calls spent
+  std::size_t accepted = 0;     ///< reductions that kept the property
+};
+
+/// Greedy descent: repeatedly adopt the first one-step reduction that keeps
+/// `interesting` true, until none does or `max_evaluations` predicate calls
+/// have been spent. `start` must itself satisfy the predicate.
+[[nodiscard]] ShrinkResult shrink_scenario(const Scenario& start,
+                                           const ScenarioPredicate& interesting,
+                                           std::size_t max_evaluations = 256);
+
+}  // namespace wormsim::campaign

@@ -18,16 +18,11 @@ NodeId pick_destination(TrafficPattern pattern, NodeId src, std::size_t n,
       return d;
     }
     case TrafficPattern::kTranspose: {
-      WORMSIM_EXPECTS_MSG(grid != nullptr && grid->spec().dimensions() == 2 &&
-                              grid->spec().dims[0] == grid->spec().dims[1],
-                          "transpose needs a square 2-D grid");
       const auto c = grid->coords_of(src);
       const int swapped[2] = {c[1], c[0]};
       return grid->node_at(swapped);
     }
     case TrafficPattern::kBitReversal: {
-      WORMSIM_EXPECTS_MSG(std::has_single_bit(n),
-                          "bit reversal needs a power-of-2 node count");
       const int bits = std::countr_zero(n);
       std::size_t v = src.index(), r = 0;
       for (int b = 0; b < bits; ++b) {
@@ -49,6 +44,17 @@ std::vector<MessageSpec> generate(const topo::Network& net,
                                   const WorkloadConfig& config) {
   WORMSIM_EXPECTS(config.injection_rate >= 0 && config.injection_rate <= 1);
   WORMSIM_EXPECTS(config.message_length >= 1);
+  // Pattern preconditions are checked up front — not lazily inside
+  // pick_destination — so a misconfigured workload fails on the first call
+  // even when no injection trial fires (e.g. injection_rate 0 or an
+  // improbable seed), instead of aborting mid-experiment later.
+  WORMSIM_EXPECTS_MSG(config.pattern != TrafficPattern::kTranspose ||
+                          (grid != nullptr && grid->spec().dimensions() == 2 &&
+                           grid->spec().dims[0] == grid->spec().dims[1]),
+                      "transpose needs a square 2-D grid");
+  WORMSIM_EXPECTS_MSG(config.pattern != TrafficPattern::kBitReversal ||
+                          std::has_single_bit(net.node_count()),
+                      "bit reversal needs a power-of-2 node count");
   util::Rng rng(config.seed);
   std::vector<MessageSpec> specs;
   const std::size_t n = net.node_count();

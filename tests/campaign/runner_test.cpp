@@ -1,0 +1,174 @@
+// Campaign runner: verdict logic, sharding determinism, JSONL stability.
+#include "campaign/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cyclic_family.hpp"
+
+namespace wormsim::campaign {
+namespace {
+
+CampaignConfig small_config(unsigned shards) {
+  CampaignConfig config;
+  config.seed = 2026;
+  config.count = 30;
+  config.shards = shards;
+  config.fixture_dir.clear();  // no fixture files from unit tests
+  config.eval.limits.max_states = 400'000;
+  return config;
+}
+
+std::string jsonl_of(const CampaignResult& result) {
+  std::ostringstream os;
+  result.write_jsonl(os);
+  return os.str();
+}
+
+TEST(EvaluateScenario, Theorem2FamilyAgrees) {
+  Scenario s;
+  s.kind = ScenarioKind::kFamily;
+  s.family.name = "t2";
+  s.family.messages = {{2, 2, true}, {1, 3, false}};
+  const Evaluation eval = evaluate_scenario(s, {});
+  EXPECT_EQ(eval.classification.rule, "theorem2");
+  EXPECT_EQ(eval.outcome, SearchOutcome::kDeadlock);
+  EXPECT_EQ(eval.verdict, Verdict::kAgree);
+  EXPECT_GT(eval.states, 0u);
+}
+
+TEST(EvaluateScenario, Section6FamilyAgreesUnreachable) {
+  Scenario s;
+  s.kind = ScenarioKind::kFamily;
+  s.family = core::generalized_spec(1);
+  const Evaluation eval = evaluate_scenario(s, {});
+  EXPECT_EQ(eval.classification.rule, "section6");
+  EXPECT_EQ(eval.outcome, SearchOutcome::kNoDeadlock);
+  EXPECT_EQ(eval.verdict, Verdict::kAgree);
+}
+
+TEST(EvaluateScenario, OutOfScopeSkipsWithoutSearching) {
+  Scenario s;
+  s.kind = ScenarioKind::kFamily;
+  s.family.messages = {{2, 3, true}, {2, 3, true}};  // equal-access pair
+  const Evaluation eval = evaluate_scenario(s, {});
+  EXPECT_EQ(eval.verdict, Verdict::kSkip);
+  EXPECT_EQ(eval.skip_reason, "theorem4-equal-access");
+  EXPECT_EQ(eval.outcome, SearchOutcome::kNotRun);
+  EXPECT_EQ(eval.states, 0u);  // the whole point: no search spent
+}
+
+TEST(EvaluateScenario, TinySearchBudgetSkipsAsSearchLimit) {
+  Scenario s;
+  s.kind = ScenarioKind::kFamily;
+  s.family = core::generalized_spec(2);  // needs a large exhaustive probe
+  EvalOptions options;
+  options.limits.max_states = 50;
+  const Evaluation eval = evaluate_scenario(s, options);
+  EXPECT_EQ(eval.outcome, SearchOutcome::kInconclusive);
+  EXPECT_EQ(eval.verdict, Verdict::kSkip);
+  EXPECT_EQ(eval.skip_reason, "search-limit");
+}
+
+TEST(EvaluateScenario, AcyclicCorpusAgreesDeadlockFree) {
+  Scenario s;
+  s.kind = ScenarioKind::kRandomAlgorithm;
+  s.seed = 21;
+  s.topology = TopologyKind::kMesh;
+  s.dims = {5};
+  s.flavor = RoutingFlavor::kRandomMinimal;
+  const Evaluation eval = evaluate_scenario(s, {});
+  EXPECT_EQ(eval.classification.rule, "dally-seitz");
+  EXPECT_EQ(eval.outcome, SearchOutcome::kNoDeadlock);
+  EXPECT_EQ(eval.verdict, Verdict::kAgree);
+}
+
+TEST(EvaluateScenario, CyclicCorpusAgreesReachable) {
+  Scenario s;
+  s.kind = ScenarioKind::kRandomAlgorithm;
+  s.seed = 33;
+  s.topology = TopologyKind::kUniRing;
+  s.nodes = 5;
+  s.flavor = RoutingFlavor::kRandomTree;
+  const Evaluation eval = evaluate_scenario(s, {});
+  EXPECT_EQ(eval.classification.rule, "corollary1");
+  EXPECT_EQ(eval.outcome, SearchOutcome::kDeadlock);
+  EXPECT_EQ(eval.verdict, Verdict::kAgree);
+}
+
+TEST(RunCampaign, SmallCampaignHasNoDisagreements) {
+  const CampaignResult result = run_campaign(small_config(1));
+  EXPECT_EQ(result.disagree, 0u);
+  EXPECT_EQ(result.records.size(), 30u);
+  EXPECT_EQ(result.agree + result.disagree + result.skip, 30u);
+  EXPECT_GT(result.agree, 15u);  // most of the stream is in scope
+
+  // Records come back in index order with populated scenario JSON.
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    EXPECT_EQ(result.records[i].index, i);
+    EXPECT_FALSE(result.records[i].scenario_json.empty());
+  }
+}
+
+TEST(RunCampaign, JsonlIsIdenticalAcrossShardCounts) {
+  const std::string one = jsonl_of(run_campaign(small_config(1)));
+  const std::string three = jsonl_of(run_campaign(small_config(3)));
+  EXPECT_EQ(one, three);
+
+  // And across repeated runs (byte-stable replay).
+  EXPECT_EQ(jsonl_of(run_campaign(small_config(2))), one);
+}
+
+TEST(RunCampaign, RuleCountsMatchRecords) {
+  const CampaignResult result = run_campaign(small_config(2));
+  std::uint64_t total = 0;
+  for (const auto& [rule, n] : result.rule_counts) total += n;
+  EXPECT_EQ(total, result.records.size());
+  std::uint64_t skips = 0;
+  for (const auto& [reason, n] : result.skip_counts) skips += n;
+  EXPECT_EQ(skips, result.skip);
+}
+
+TEST(RunCampaign, ReportCarriesVerdictCounters) {
+  CampaignConfig config = small_config(1);
+  config.collect_profile = true;
+  const CampaignResult result = run_campaign(config);
+  const obs::RunReport report = result.report(config);
+  EXPECT_EQ(report.name, "campaign");
+  EXPECT_EQ(report.values.at("count"), 30.0);
+  EXPECT_EQ(report.values.at("agree"), static_cast<double>(result.agree));
+  EXPECT_EQ(report.values.at("disagree"), 0.0);
+  EXPECT_EQ(report.labels.at("outcome"), "clean");
+  EXPECT_GT(result.profile.memo_misses, 0u);  // profile actually collected
+}
+
+TEST(ScenarioRecordJson, ContainsNoTimingFields) {
+  const CampaignResult result = run_campaign(small_config(1));
+  for (const ScenarioRecord& record : result.records) {
+    const std::string line = record.to_json();
+    EXPECT_EQ(line.find("elapsed"), std::string::npos);
+    EXPECT_EQ(line.find("shard"), std::string::npos);
+    EXPECT_NE(line.find("\"verdict\""), std::string::npos);
+  }
+}
+
+TEST(FixtureExtraction, FindsEmbeddedScenarios) {
+  const std::string fixture =
+      "{\n  \"rule\": \"x\",\n"
+      "  \"scenario\": {\"index\":4,\"seed\":9,\"kind\":\"family\","
+      "\"name\":\"f\",\"hub\":false,\"messages\":[[2,2,1],[2,2,1]]},\n"
+      "  \"shrunk\": {\"index\":4,\"seed\":9,\"kind\":\"random\","
+      "\"topology\":\"uniring\",\"dims\":[],\"nodes\":3,\"lanes\":1,"
+      "\"chords\":0,\"flavor\":\"tree\"}\n}\n";
+  const auto scenario = scenario_from_fixture(fixture, "scenario");
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_EQ(scenario->kind, ScenarioKind::kFamily);
+  const auto shrunk = scenario_from_fixture(fixture, "shrunk");
+  ASSERT_TRUE(shrunk.has_value());
+  EXPECT_EQ(shrunk->kind, ScenarioKind::kRandomAlgorithm);
+  EXPECT_FALSE(scenario_from_fixture(fixture, "absent").has_value());
+}
+
+}  // namespace
+}  // namespace wormsim::campaign

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "routing/dor.hpp"
 #include "sim/simulator.hpp"
 
@@ -148,6 +150,83 @@ TEST(Workloads, HotspotConcentratesUtilization) {
             3 * stats.mean_channel_utilization);
   // The hottest channel delivers into the hotspot node.
   EXPECT_EQ(grid.net().channel(stats.hottest_channel).dst.index(), 0u);
+}
+
+std::uint64_t workload_hash(const std::vector<MessageSpec>& specs) {
+  std::string bytes;
+  for (const auto& s : specs)
+    bytes += std::to_string(s.src.value()) + "," +
+             std::to_string(s.dst.value()) + "," + std::to_string(s.length) +
+             "," + std::to_string(s.release_time) + ";";
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(Workloads, GoldenByteStability) {
+  // Byte-level golden for the generator: recorded experiment inputs are
+  // only reproducible if a (topology, config, seed) triple regenerates the
+  // identical message list on every machine and after every refactor.
+  const topo::Grid grid = topo::make_mesh({4, 4});
+  WorkloadConfig config;
+  config.horizon = 100;
+  config.seed = 42;
+  EXPECT_EQ(workload_hash(generate_workload(grid, config)),
+            0xa45707797e78f6a1ull);
+
+  config.pattern = TrafficPattern::kTranspose;
+  EXPECT_EQ(workload_hash(generate_workload(grid, config)),
+            0xfe1f4b4308894495ull);
+}
+
+TEST(WorkloadsDeath, TransposeRejectsNonSquareGridUpFront) {
+  const topo::Grid grid = topo::make_mesh({4, 2});
+  WorkloadConfig config;
+  config.pattern = TrafficPattern::kTranspose;
+  // injection_rate 0: no trial ever fires, so only an up-front precondition
+  // can catch the misconfiguration.
+  config.injection_rate = 0;
+  config.horizon = 10;
+  EXPECT_DEATH((void)generate_workload(grid, config), "square 2-D grid");
+}
+
+TEST(WorkloadsDeath, TransposeRejectsNonTwoDimensionalGrid) {
+  const topo::Grid grid = topo::make_mesh({2, 2, 2});
+  WorkloadConfig config;
+  config.pattern = TrafficPattern::kTranspose;
+  config.injection_rate = 0;
+  config.horizon = 10;
+  EXPECT_DEATH((void)generate_workload(grid, config), "square 2-D grid");
+}
+
+TEST(WorkloadsDeath, BitReversalRejectsNonPowerOfTwoNodeCountUpFront) {
+  const topo::Grid grid = topo::make_mesh({3, 3});
+  WorkloadConfig config;
+  config.pattern = TrafficPattern::kBitReversal;
+  config.injection_rate = 0;
+  config.horizon = 10;
+  EXPECT_DEATH((void)generate_workload(grid, config), "power-of-2");
+}
+
+TEST(Workloads, BitReversalAcceptsPowerOfTwoGrid) {
+  const topo::Grid grid = topo::make_mesh({4, 4});
+  WorkloadConfig config;
+  config.pattern = TrafficPattern::kBitReversal;
+  config.horizon = 200;
+  const auto specs = generate_workload(grid, config);
+  ASSERT_FALSE(specs.empty());
+  for (const auto& s : specs) {
+    // dst is the 4-bit reversal of src (16 nodes).
+    std::size_t v = s.src.index(), r = 0;
+    for (int b = 0; b < 4; ++b) {
+      r = (r << 1) | (v & 1);
+      v >>= 1;
+    }
+    EXPECT_EQ(s.dst.index(), r);
+  }
 }
 
 TEST(Workloads, BusyCyclesMatchWormLifetime) {

@@ -28,5 +28,16 @@ wormsim_test(core_tests
   core/corollaries_test.cpp
   core/generalization_test.cpp
   core/theorem5_sweep_test.cpp
+  core/theorem5_conditions_test.cpp
   core/duato_test.cpp
   core/analyzer_test.cpp)
+
+wormsim_test(campaign_tests
+  campaign/scenario_test.cpp
+  campaign/classifier_test.cpp
+  campaign/shrink_test.cpp
+  campaign/runner_test.cpp
+  campaign/fixture_test.cpp)
+target_link_libraries(campaign_tests PRIVATE wormsim_campaign)
+target_compile_definitions(campaign_tests PRIVATE
+  WORMSIM_TEST_DATA_DIR="${CMAKE_CURRENT_SOURCE_DIR}")

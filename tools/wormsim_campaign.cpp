@@ -1,0 +1,202 @@
+// wormsim_campaign — randomized theorem-vs-search cross-checking CLI.
+//
+// Generates a pinned-seed stream of scenarios (paper ring families and random
+// oblivious algorithms on small topologies), predicts each one's deadlock
+// behaviour from the paper's theorems, cross-checks the prediction against
+// the exhaustive reachability search, and writes one JSONL record per
+// scenario plus a BENCH_campaign.json summary. Any disagreement is shrunk to
+// a minimal reproducer fixture and makes the exit status nonzero, so CI can
+// run a smoke campaign as a tripwire over the whole theorem/search stack.
+//
+// Usage:
+//   wormsim_campaign [--seed N] [--count N] [--shards N] [--out FILE]
+//                    [--fixture-dir DIR] [--max-states N] [--bias any|force|forbid]
+//                    [--probe-out-of-scope] [--profile] [--no-shrink] [--quiet]
+//   wormsim_campaign --replay FIXTURE.json [--max-states N]
+//
+// Determinism: the JSONL bytes depend only on (--seed, --count, generator
+// knobs, search limits) — never on --shards or wall-clock — so reruns diff
+// clean and shard-count changes are pure speedups.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "campaign/runner.hpp"
+#include "obs/run_report.hpp"
+
+using namespace wormsim;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--count N] [--shards N] [--out FILE]\n"
+               "          [--fixture-dir DIR] [--max-states N]\n"
+               "          [--bias any|force|forbid] [--probe-out-of-scope]\n"
+               "          [--profile] [--no-shrink] [--quiet]\n"
+               "       %s --replay FIXTURE.json [--max-states N]\n",
+               argv0, argv0);
+  return 2;
+}
+
+std::uint64_t parse_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "wormsim_campaign: bad value for %s: '%s'\n", flag,
+                 text);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Replays the "shrunk" (preferred) or "scenario" object of a disagreement
+/// fixture and reports whether the disagreement still reproduces. Exit 0 =
+/// fixed (now agrees), 1 = still disagrees, 2 = unusable fixture.
+int replay_fixture(const std::string& path, const campaign::EvalOptions& eval) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "wormsim_campaign: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  auto scenario = campaign::scenario_from_fixture(text, "shrunk");
+  if (!scenario) scenario = campaign::scenario_from_fixture(text, "scenario");
+  if (!scenario) {
+    std::fprintf(stderr, "wormsim_campaign: no scenario in %s\n", path.c_str());
+    return 2;
+  }
+
+  const campaign::Evaluation result = campaign::replay_scenario(*scenario, eval);
+  std::printf("replay %s\n  scenario  %s\n  rule      %s\n  predicted %s\n"
+              "  outcome   %s\n  verdict   %s\n",
+              path.c_str(), scenario->describe().c_str(),
+              result.classification.rule.c_str(),
+              campaign::to_string(result.classification.prediction),
+              campaign::to_string(result.outcome),
+              campaign::to_string(result.verdict));
+  return result.verdict == campaign::Verdict::kDisagree ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  campaign::CampaignConfig config;
+  config.count = 1000;
+  std::string out_path = "campaign.jsonl";
+  std::string replay_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wormsim_campaign: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      config.seed = parse_u64(value(), "--seed");
+    } else if (arg == "--count") {
+      config.count = parse_u64(value(), "--count");
+    } else if (arg == "--shards") {
+      config.shards = static_cast<unsigned>(parse_u64(value(), "--shards"));
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--fixture-dir") {
+      config.fixture_dir = value();
+    } else if (arg == "--max-states") {
+      config.eval.limits.max_states = parse_u64(value(), "--max-states");
+    } else if (arg == "--bias") {
+      const std::string bias = value();
+      if (bias == "any") {
+        config.knobs.cycle_bias = campaign::CycleBias::kAny;
+      } else if (bias == "force") {
+        config.knobs.cycle_bias = campaign::CycleBias::kForce;
+      } else if (bias == "forbid") {
+        config.knobs.cycle_bias = campaign::CycleBias::kForbid;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--probe-out-of-scope") {
+      config.eval.probe_out_of_scope = true;
+    } else if (arg == "--profile") {
+      config.collect_profile = true;
+    } else if (arg == "--no-shrink") {
+      config.shrink_disagreements = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--replay") {
+      replay_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!replay_path.empty()) return replay_fixture(replay_path, config.eval);
+
+  const campaign::CampaignResult result = campaign::run_campaign(config);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "wormsim_campaign: cannot write %s\n",
+                 out_path.c_str());
+    return 2;
+  }
+  result.write_jsonl(out);
+
+  obs::RunReport report = result.report(config);
+  if (!obs::write_report_file(report))
+    std::fprintf(stderr, "wormsim_campaign: failed to write BENCH report\n");
+
+  if (!quiet) {
+    std::printf(
+        "campaign seed=%llu count=%llu shards=%u\n"
+        "  agree=%llu disagree=%llu skip=%llu states=%llu\n"
+        "  elapsed=%.2fs (%.1f scenarios/s)\n",
+        static_cast<unsigned long long>(config.seed),
+        static_cast<unsigned long long>(config.count), result.shards_used,
+        static_cast<unsigned long long>(result.agree),
+        static_cast<unsigned long long>(result.disagree),
+        static_cast<unsigned long long>(result.skip),
+        static_cast<unsigned long long>(result.states_total),
+        result.elapsed_seconds,
+        result.elapsed_seconds > 0
+            ? static_cast<double>(result.records.size()) /
+                  result.elapsed_seconds
+            : 0.0);
+    for (const auto& [rule, n] : result.rule_counts)
+      std::printf("  rule %-22s %llu\n", rule.c_str(),
+                  static_cast<unsigned long long>(n));
+    if (config.collect_profile)
+      std::printf("  profile: memo-hit-rate=%.3f peak-depth=%llu\n",
+                  result.profile.memo_hit_rate(),
+                  static_cast<unsigned long long>(result.profile.peak_depth));
+    for (const campaign::ScenarioRecord& record : result.records) {
+      if (record.verdict != campaign::Verdict::kDisagree) continue;
+      std::printf("  DISAGREE #%llu rule=%s predicted=%s observed=%s\n"
+                  "    scenario %s\n",
+                  static_cast<unsigned long long>(record.index),
+                  record.rule.c_str(), campaign::to_string(record.prediction),
+                  campaign::to_string(record.outcome),
+                  record.scenario_json.c_str());
+      if (!record.fixture_path.empty())
+        std::printf("    fixture  %s\n", record.fixture_path.c_str());
+    }
+  }
+
+  return result.disagree == 0 ? 0 : 1;
+}
