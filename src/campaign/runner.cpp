@@ -4,10 +4,8 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <thread>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "campaign/shrink.hpp"
@@ -132,31 +130,21 @@ SearchOutcome acyclic_ground_truth(Evaluation& eval, const Scenario& scenario,
   return outcome_of(result);
 }
 
-/// Family ground truth is a pure function of the ring structure (family
-/// materialization is seed-free), and the discrete parameter space is small,
-/// so campaigns resample the same instances constantly — most expensively
-/// the two Section-6 generalized instances, whose exhaustive probes dominate
-/// an uncached run. The cache is keyed on the structure alone; cached
-/// replays return bit-identical outcome/states, so JSONL bytes are
-/// unaffected.
-struct FamilyTruth {
-  SearchOutcome outcome;
-  std::uint64_t states;
-  analysis::SearchProfile profile;
+/// Ground truth is a pure function of (scenario.truth_key(), search limits,
+/// probe knobs) — see TruthStore's header for the persistence story. Within
+/// one run the store doubles as the in-memory memo table: families resample
+/// the same structural instances constantly (most expensively the two
+/// Section-6 generalized shapes, whose exhaustive probes dominate an
+/// uncached run), and a warm cache_file short-circuits every search of a
+/// rerun. Cached replays return bit-identical outcome/states, so JSONL
+/// bytes are unaffected; the per-scenario SearchProfile is *not* cached — a
+/// hit contributes an empty profile, so merged profiles count unique
+/// searches, not replays.
+struct CacheCounters {
+  std::atomic<std::uint64_t> disk_hits{0};
+  std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> misses{0};
 };
-
-struct TruthCache {
-  std::mutex mu;
-  std::unordered_map<std::string, FamilyTruth> map;
-};
-
-std::string family_key(const core::CyclicFamilySpec& spec) {
-  std::ostringstream os;
-  os << (spec.hub_completion ? "H" : "-");
-  for (const core::CyclicMessageParams& p : spec.messages)
-    os << "|" << p.access << "," << p.hold << "," << (p.uses_shared ? 1 : 0);
-  return os.str();
-}
 
 SearchOutcome expected_outcome(Prediction prediction) {
   switch (prediction) {
@@ -186,7 +174,7 @@ std::string fixture_json(const CampaignConfig& config,
 }
 
 Evaluation evaluate_impl(const Scenario& scenario, const EvalOptions& options,
-                         TruthCache* cache) {
+                         TruthStore* cache, CacheCounters* counters) {
   Evaluation eval;
   const MaterializedScenario live = materialize(scenario);
   eval.classification = classify(scenario, live);
@@ -203,31 +191,35 @@ Evaluation evaluate_impl(const Scenario& scenario, const EvalOptions& options,
     return eval;
   }
 
-  if (scenario.kind == ScenarioKind::kFamily) {
-    std::string key;
-    bool cached = false;
-    if (cache != nullptr) {
-      key = family_key(scenario.family);
-      const std::scoped_lock lock(cache->mu);
-      if (const auto it = cache->map.find(key); it != cache->map.end()) {
-        eval.outcome = it->second.outcome;
-        eval.states = it->second.states;
-        eval.profile = it->second.profile;
-        cached = true;
+  std::string key;
+  bool cached = false;
+  if (cache != nullptr) {
+    key = scenario.truth_key();
+    if (const auto hit = cache->lookup(key)) {
+      eval.outcome = hit->outcome;
+      eval.states = hit->states;
+      cached = true;
+      if (counters != nullptr) {
+        auto& counter =
+            hit->from_disk ? counters->disk_hits : counters->memo_hits;
+        counter.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    if (!cached) {
+  }
+  if (!cached) {
+    if (counters != nullptr)
+      counters->misses.fetch_add(1, std::memory_order_relaxed);
+    if (scenario.kind == ScenarioKind::kFamily) {
       eval.outcome = family_ground_truth(eval, *live.family, limits);
-      if (cache != nullptr) {
-        const std::scoped_lock lock(cache->mu);
-        cache->map.emplace(std::move(key),
-                           FamilyTruth{eval.outcome, eval.states, eval.profile});
-      }
+    } else if (eval.classification.cdg_cyclic) {
+      eval.outcome = cyclic_ground_truth(eval, live, options, limits);
+    } else {
+      eval.outcome =
+          acyclic_ground_truth(eval, scenario, live, options, limits);
     }
-  } else if (eval.classification.cdg_cyclic) {
-    eval.outcome = cyclic_ground_truth(eval, live, options, limits);
-  } else {
-    eval.outcome = acyclic_ground_truth(eval, scenario, live, options, limits);
+    if (cache != nullptr)
+      cache->insert(key, TruthRecord{eval.outcome, eval.states,
+                                     /*from_disk=*/false});
   }
 
   if (!in_scope) {
@@ -258,7 +250,8 @@ Evaluation evaluate_impl(const Scenario& scenario, const EvalOptions& options,
 
 Evaluation evaluate_scenario(const Scenario& scenario,
                              const EvalOptions& options) {
-  return evaluate_impl(scenario, options, /*cache=*/nullptr);
+  return evaluate_impl(scenario, options, /*cache=*/nullptr,
+                       /*counters=*/nullptr);
 }
 
 Evaluation replay_scenario(const Scenario& scenario,
@@ -309,12 +302,27 @@ obs::RunReport CampaignResult::report(const CampaignConfig& config) const {
   r.kind = "campaign";
   r.labels["seed"] = std::to_string(config.seed);
   r.labels["outcome"] = disagree == 0 ? "clean" : "disagreements";
+  r.labels["truth_cache"] = config.cache_file.empty()
+                                ? "off"
+                                : (truth_disk_hits > 0 ? "warm" : "cold");
   r.values["count"] = static_cast<double>(records.size());
   r.values["agree"] = static_cast<double>(agree);
   r.values["disagree"] = static_cast<double>(disagree);
   r.values["skip"] = static_cast<double>(skip);
   r.values["states_total"] = static_cast<double>(states_total);
   r.values["shards"] = static_cast<double>(shards_used);
+  r.values["shard_index"] = static_cast<double>(config.shard_index);
+  r.values["shard_total"] = static_cast<double>(config.shard_total);
+  r.values["truth_cache.disk_hits"] = static_cast<double>(truth_disk_hits);
+  r.values["truth_cache.memo_hits"] = static_cast<double>(truth_memo_hits);
+  r.values["truth_cache.misses"] = static_cast<double>(truth_misses);
+  r.values["truth_cache.loaded"] = static_cast<double>(truth_loaded);
+  r.values["truth_cache.stored"] = static_cast<double>(truth_stored);
+  const std::uint64_t lookups = truth_disk_hits + truth_memo_hits + truth_misses;
+  r.values["truth_cache.disk_hit_rate"] =
+      lookups > 0 ? static_cast<double>(truth_disk_hits) /
+                        static_cast<double>(lookups)
+                  : 0;
   r.values["elapsed_seconds"] = elapsed_seconds;
   r.values["scenarios_per_second"] =
       elapsed_seconds > 0 ? static_cast<double>(records.size()) / elapsed_seconds
@@ -328,30 +336,45 @@ obs::RunReport CampaignResult::report(const CampaignConfig& config) const {
 
 CampaignResult run_campaign(const CampaignConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
+  WORMSIM_EXPECTS(config.shard_total >= 1);
+  WORMSIM_EXPECTS(config.shard_index < config.shard_total);
   const ScenarioGenerator generator(config.seed, config.knobs);
 
   CampaignResult result;
-  result.records.resize(config.count);
+  // Contiguous block partition: concatenating slice outputs in shard order
+  // reproduces the single-process JSONL byte-for-byte (see --merge).
+  result.first_index = config.count * config.shard_index / config.shard_total;
+  result.end_index =
+      config.count * (config.shard_index + 1) / config.shard_total;
+  const std::uint64_t slice = result.end_index - result.first_index;
+  result.records.resize(slice);
 
   unsigned shards = config.shards != 0
                         ? config.shards
                         : std::max(1u, std::thread::hardware_concurrency());
-  if (config.count < shards)
-    shards = static_cast<unsigned>(std::max<std::uint64_t>(1, config.count));
+  if (slice < shards)
+    shards = static_cast<unsigned>(std::max<std::uint64_t>(1, slice));
   result.shards_used = shards;
 
   std::vector<analysis::SearchProfile> profiles(
-      config.collect_profile ? config.count : 0);
+      config.collect_profile ? slice : 0);
 
-  TruthCache cache;
-  std::atomic<std::uint64_t> next{0};
+  TruthStore cache(truth_fingerprint(config.eval.limits,
+                                     config.eval.max_cycles_probed,
+                                     config.eval.acyclic_probe_messages));
+  if (!config.cache_file.empty())
+    result.truth_loaded = cache.load(config.cache_file).records;
+  CacheCounters counters;
+
+  std::atomic<std::uint64_t> next{result.first_index};
   const auto worker = [&] {
     for (;;) {
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= config.count) return;
+      if (i >= result.end_index) return;
       const Scenario scenario = generator.generate(i);
-      const Evaluation eval = evaluate_impl(scenario, config.eval, &cache);
-      ScenarioRecord& record = result.records[i];
+      const Evaluation eval =
+          evaluate_impl(scenario, config.eval, &cache, &counters);
+      ScenarioRecord& record = result.records[i - result.first_index];
       record.index = i;
       record.seed = scenario.seed;
       record.kind = scenario.kind;
@@ -362,7 +385,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       record.skip_reason = eval.skip_reason;
       record.states = eval.states;
       record.scenario_json = scenario.to_json();
-      if (config.collect_profile) profiles[i] = eval.profile;
+      if (config.collect_profile) profiles[i - result.first_index] = eval.profile;
     }
   };
   if (shards == 1) {
@@ -400,7 +423,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     if (config.shrink_disagreements) {
       const std::string rule = record.rule;
       const auto still_disagrees = [&](const Scenario& candidate) {
-        const Evaluation eval = evaluate_impl(candidate, config.eval, &cache);
+        // No counters: shrink probes are diagnostics, not campaign lookups.
+        const Evaluation eval =
+            evaluate_impl(candidate, config.eval, &cache, /*counters=*/nullptr);
         return eval.verdict == Verdict::kDisagree &&
                eval.classification.rule == rule;
       };
@@ -425,20 +450,18 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     }
   }
 
+  result.truth_disk_hits = counters.disk_hits.load();
+  result.truth_memo_hits = counters.memo_hits.load();
+  result.truth_misses = counters.misses.load();
+  if (!config.cache_file.empty()) {
+    result.truth_stored = cache.size();
+    result.cache_saved = cache.save(config.cache_file);
+  }
+
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return result;
-}
-
-const char* to_string(SearchOutcome outcome) {
-  switch (outcome) {
-    case SearchOutcome::kNotRun: return "not-run";
-    case SearchOutcome::kDeadlock: return "deadlock";
-    case SearchOutcome::kNoDeadlock: return "no-deadlock";
-    case SearchOutcome::kInconclusive: return "inconclusive";
-  }
-  WORMSIM_UNREACHABLE("bad SearchOutcome");
 }
 
 const char* to_string(Verdict verdict) {

@@ -17,6 +17,13 @@
 // ground-truth search runs single-threaded, and records are emitted in
 // index order — so the JSONL output is byte-identical across runs and
 // shard counts, while shards scale wall-clock near-linearly.
+//
+// Scale-out happens on two axes. Within a process, `shards` worker threads
+// deal scenario indices dynamically. Across processes (or machines),
+// `shard_index`/`shard_total` give each process a contiguous slice of the
+// index space whose JSONL outputs concatenate to the single-process bytes.
+// Ground truth is memoized in a TruthStore that `cache_file` persists
+// across runs (docs/campaign.md documents the operator contract).
 #pragma once
 
 #include <cstdint>
@@ -30,16 +37,10 @@
 #include "analysis/deadlock_search.hpp"
 #include "campaign/classifier.hpp"
 #include "campaign/scenario.hpp"
+#include "campaign/truth_store.hpp"
 #include "obs/run_report.hpp"
 
 namespace wormsim::campaign {
-
-enum class SearchOutcome : std::uint8_t {
-  kNotRun,        ///< ground truth skipped (out-of-scope, probe gap)
-  kDeadlock,      ///< the search reached a deadlock configuration
-  kNoDeadlock,    ///< the bounded space was exhausted without one
-  kInconclusive,  ///< state budget hit before a decision
-};
 
 enum class Verdict : std::uint8_t { kAgree, kDisagree, kSkip };
 
@@ -79,6 +80,18 @@ struct CampaignConfig {
   /// Worker threads; scenarios are dealt dynamically. 0 means
   /// std::thread::hardware_concurrency().
   unsigned shards = 1;
+  /// Process-level slice of the index space: this process evaluates the
+  /// contiguous block [count*shard_index/shard_total,
+  /// count*(shard_index+1)/shard_total). With shard_total == 1 (default)
+  /// that is the whole campaign. Concatenating the JSONL of slices
+  /// 0..shard_total-1 in order reproduces the single-process output
+  /// byte-for-byte.
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_total = 1;
+  /// Persistent TruthStore path: loaded before the run (missing file = cold
+  /// start) and atomically rewritten after it. Empty disables persistence;
+  /// the in-memory truth cache always runs.
+  std::string cache_file;
   GeneratorKnobs knobs;
   EvalOptions eval;
   /// Aggregate SearchProfiles across all scenarios into the result.
@@ -110,7 +123,10 @@ struct ScenarioRecord {
 };
 
 struct CampaignResult {
-  std::vector<ScenarioRecord> records;  ///< index order
+  std::vector<ScenarioRecord> records;  ///< this slice, in index order
+  /// First/one-past-last campaign index of this process's slice.
+  std::uint64_t first_index = 0;
+  std::uint64_t end_index = 0;
   std::uint64_t agree = 0;
   std::uint64_t disagree = 0;
   std::uint64_t skip = 0;
@@ -120,6 +136,15 @@ struct CampaignResult {
   double elapsed_seconds = 0;
   unsigned shards_used = 1;
   analysis::SearchProfile profile;  ///< merged when collect_profile
+  // Truth-cache accounting, split so a warm rerun is distinguishable from
+  // ordinary in-run memoization: disk hits come from the loaded cache_file,
+  // memo hits from earlier scenarios of this same run.
+  std::uint64_t truth_disk_hits = 0;
+  std::uint64_t truth_memo_hits = 0;
+  std::uint64_t truth_misses = 0;  ///< ground-truth searches actually run
+  std::uint64_t truth_loaded = 0;  ///< records accepted from cache_file
+  std::uint64_t truth_stored = 0;  ///< records in the saved cache_file
+  bool cache_saved = false;        ///< cache_file rewrite succeeded
 
   /// Writes one JSONL line per scenario, in index order.
   void write_jsonl(std::ostream& out) const;
@@ -143,7 +168,6 @@ struct CampaignResult {
 [[nodiscard]] std::optional<Scenario> scenario_from_fixture(
     std::string_view text, std::string_view key);
 
-const char* to_string(SearchOutcome outcome);
 const char* to_string(Verdict verdict);
 
 }  // namespace wormsim::campaign

@@ -98,6 +98,24 @@ std::string Scenario::describe() const {
   return os.str();
 }
 
+std::string Scenario::truth_key() const {
+  std::ostringstream os;
+  if (kind == ScenarioKind::kFamily) {
+    // name is presentation-only and hub completion changes the network, so
+    // the key is hub flag + the (access, hold, shared) ring in order.
+    os << "F" << (family.hub_completion ? "H" : "-");
+    for (const core::CyclicMessageParams& p : family.messages)
+      os << "|" << p.access << "," << p.hold << "," << (p.uses_shared ? 1 : 0);
+  } else {
+    os << "R|" << to_string(topology) << "|";
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      os << (i ? "x" : "") << dims[i];
+    os << "|" << nodes << "|" << lanes << "|" << extra_chords << "|"
+       << to_string(flavor) << "|" << seed;
+  }
+  return os.str();
+}
+
 std::string Scenario::to_json() const {
   std::ostringstream os;
   os << "{\"index\":" << index << ",\"seed\":" << seed << ",\"kind\":\""

@@ -112,6 +112,15 @@ struct Scenario {
   /// Compact human-readable one-liner ("family m=3 s=2 [(2,3,S)...]").
   [[nodiscard]] std::string describe() const;
 
+  /// Identity of this scenario's ground truth, i.e. every field the search
+  /// verdict depends on — and nothing else. Family instances are seed-free
+  /// (materialization depends only on the spec), so distinct scenarios that
+  /// sample the same ring share one key; random-algorithm instances fold in
+  /// the seed (it generates the routing table). Used as the TruthStore key,
+  /// so changes here invalidate persisted caches (bump the store's
+  /// behaviour version).
+  [[nodiscard]] std::string truth_key() const;
+
   /// One-line JSON object; the exact bytes are covered by the determinism
   /// golden test, so extend rather than reorder fields.
   [[nodiscard]] std::string to_json() const;

@@ -1,0 +1,280 @@
+#include "campaign/truth_store.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wormsim::campaign {
+
+namespace {
+
+constexpr std::string_view kMagic = "wormsim-truthstore";
+constexpr std::string_view kVersion = "v1";
+
+/// Bump when probe construction changes what a stored verdict means (new
+/// family probe shape, different cycle-probe message lengths, ...). Folded
+/// into every fingerprint, so old caches age out as misses instead of
+/// serving stale truth.
+constexpr std::uint64_t kBehaviourVersion = 1;
+
+/// Canonical byte-at-a-time FNV-1a (distinct from state_table's lane-wise
+/// variant: this digest is persisted, so it must not depend on in-memory
+/// layout tricks).
+std::uint64_t fnv1a(std::string_view bytes,
+                    std::uint64_t h = 0xcbf29ce484222325ull) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_hex16(std::string_view text) {
+  if (text.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+/// Splits one record line into exactly `n` tab-separated fields.
+std::optional<std::vector<std::string_view>> split_fields(
+    std::string_view line, std::size_t n) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (fields.size() != n) return std::nullopt;
+  return fields;
+}
+
+std::string record_payload(const std::string& key, const TruthRecord& record) {
+  std::ostringstream os;
+  os << key << "\t" << to_string(record.outcome) << "\t" << record.states;
+  return os.str();
+}
+
+/// Parses "wormsim-truthstore v1 fp=<hex16>"; nullopt unless magic,
+/// version, and fingerprint all parse.
+std::optional<std::uint64_t> parse_header(const std::string& header) {
+  std::istringstream hs(header);
+  std::string magic, version, fp;
+  hs >> magic >> version >> fp;
+  if (magic != kMagic || version != kVersion) return std::nullopt;
+  if (fp.rfind("fp=", 0) != 0) return std::nullopt;
+  return parse_hex16(std::string_view(fp).substr(3));
+}
+
+}  // namespace
+
+const char* to_string(SearchOutcome outcome) {
+  switch (outcome) {
+    case SearchOutcome::kNotRun: return "not-run";
+    case SearchOutcome::kDeadlock: return "deadlock";
+    case SearchOutcome::kNoDeadlock: return "no-deadlock";
+    case SearchOutcome::kInconclusive: return "inconclusive";
+  }
+  WORMSIM_UNREACHABLE("bad SearchOutcome");
+}
+
+std::optional<SearchOutcome> outcome_from_string(std::string_view text) {
+  for (const SearchOutcome o :
+       {SearchOutcome::kNotRun, SearchOutcome::kDeadlock,
+        SearchOutcome::kNoDeadlock, SearchOutcome::kInconclusive}) {
+    if (text == to_string(o)) return o;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t truth_fingerprint(const analysis::SearchLimits& limits,
+                                std::size_t max_cycles_probed,
+                                std::size_t acyclic_probe_messages) {
+  // Canonical text, not raw struct bytes: the digest must survive struct
+  // layout and field-order changes, and stay printable for triage.
+  std::ostringstream os;
+  os << "behaviour=" << kBehaviourVersion
+     << ";buffer_depth=" << limits.buffer_depth
+     << ";max_states=" << limits.max_states
+     << ";delay_budget=" << limits.delay_budget
+     << ";metric=" << static_cast<int>(limits.metric)
+     << ";max_branches=" << limits.max_branches_per_state
+     << ";cycles_probed=" << max_cycles_probed
+     << ";acyclic_messages=" << acyclic_probe_messages;
+  return fnv1a(os.str());
+}
+
+std::size_t TruthStore::size() const {
+  const std::scoped_lock lock(mu_);
+  return map_.size();
+}
+
+std::optional<TruthRecord> TruthStore::lookup(const std::string& key) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TruthStore::insert(const std::string& key, TruthRecord record) {
+  const std::scoped_lock lock(mu_);
+  map_[key] = record;
+}
+
+std::string TruthStore::format_record(const std::string& key,
+                                      const TruthRecord& record) {
+  const std::string payload = record_payload(key, record);
+  return payload + "\t" + hex16(fnv1a(payload));
+}
+
+TruthLoadStats TruthStore::load(const std::string& path) {
+  TruthLoadStats stats;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return stats;  // cold start: no file yet
+  stats.loaded = true;
+
+  std::string header;
+  if (!std::getline(in, header)) return stats;  // empty file: version fails
+
+  // Header: "wormsim-truthstore v1 fp=<hex16>". A wrong-version file sets
+  // neither flag; a right-version file with a malformed fingerprint field
+  // counts as version_ok but never fingerprint_ok.
+  std::istringstream hs(header);
+  std::string magic, version;
+  hs >> magic >> version;
+  if (magic != kMagic || version != kVersion) return stats;
+  stats.version_ok = true;
+  const auto file_fp = parse_header(header);
+  if (!file_fp || *file_fp != fingerprint_) return stats;
+  stats.fingerprint_ok = true;
+
+  // Records until the first malformed line; everything after it is the
+  // corrupt tail. A partial final line from a torn write lands here too.
+  std::string line;
+  bool corrupt = false;
+  while (std::getline(in, line)) {
+    if (corrupt) {
+      ++stats.dropped;
+      continue;
+    }
+    const auto parts = split_fields(line, 4);
+    std::optional<SearchOutcome> outcome;
+    std::optional<std::uint64_t> states, checksum;
+    if (parts) {
+      outcome = outcome_from_string((*parts)[1]);
+      states = parse_u64((*parts)[2]);
+      checksum = parse_hex16((*parts)[3]);
+    }
+    const std::size_t payload_len = line.rfind('\t');
+    if (!parts || !outcome || !states || !checksum ||
+        *checksum != fnv1a(std::string_view(line).substr(0, payload_len))) {
+      corrupt = true;
+      ++stats.dropped;
+      continue;
+    }
+    const std::scoped_lock lock(mu_);
+    map_[std::string((*parts)[0])] =
+        TruthRecord{*outcome, *states, /*from_disk=*/true};
+    ++stats.records;
+  }
+  return stats;
+}
+
+bool TruthStore::save(const std::string& path) const {
+  namespace fs = std::filesystem;
+  // Unique sibling temp name (same directory => same filesystem => rename
+  // is atomic). PID plus object address disambiguates racing writers.
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid() << "."
+           << reinterpret_cast<std::uintptr_t>(this);
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << kMagic << " " << kVersion << " fp=" << hex16(fingerprint_) << "\n";
+    const std::scoped_lock lock(mu_);
+    for (const auto& [key, record] : map_)
+      out << format_record(key, record) << "\n";
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> TruthStore::peek_fingerprint(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string header;
+  if (!std::getline(in, header)) return std::nullopt;
+  return parse_header(header);
+}
+
+bool TruthStore::merge_from(const TruthStore& other, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (fingerprint_ != other.fingerprint_)
+    return fail("fingerprint mismatch: " + hex16(fingerprint_) + " vs " +
+                hex16(other.fingerprint_));
+  if (&other == this) return true;
+  const std::scoped_lock lock(mu_, other.mu_);  // std::lock: deadlock-free
+  for (const auto& [key, record] : other.map_) {
+    const auto it = map_.find(key);
+    if (it != map_.end() && (it->second.outcome != record.outcome ||
+                             it->second.states != record.states)) {
+      return fail("contradictory records for key '" + key + "': " +
+                  record_payload(key, it->second) + " vs " +
+                  record_payload(key, record));
+    }
+    if (it == map_.end()) map_.emplace(key, record);
+  }
+  return true;
+}
+
+}  // namespace wormsim::campaign

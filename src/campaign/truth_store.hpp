@@ -1,0 +1,139 @@
+// Persistent ground-truth cache for the campaign engine.
+//
+// Ground truth for a scenario — what the exhaustive search decides — is a
+// pure function of (scenario structure, search limits, probe knobs), so it
+// can be memoized across campaign *processes*, not just within one run.
+// A TruthStore is that memo table with a disk representation:
+//
+//   wormsim-truthstore v1 fp=<16 hex digits>
+//   <key>\t<outcome>\t<states>\t<fnv64 checksum>
+//   ...
+//
+// The format is line-oriented and append-friendly: every record is
+// self-contained and carries its own checksum, so a write torn by a crash
+// (or a concurrent reader catching a partial file) damages at most the tail.
+// load() verifies the header and walks records until the first malformed or
+// checksum-failing line, keeping the valid prefix and dropping the rest
+// ("corrupt-tail truncation"). save() never appends in place: it writes a
+// complete sorted snapshot to a sibling temp file and atomically renames it
+// over the destination, so readers and racing writers always observe a
+// fully-formed file (last rename wins).
+//
+// The header's fingerprint hashes every knob that can change what the
+// search would conclude (SearchLimits + the runner's probe parameters + a
+// format-behaviour version). A store whose fingerprint differs from the
+// campaign's is loaded as empty — every lookup misses — rather than
+// rejected, because stale truth is merely useless, not dangerous: the
+// campaign recomputes and the next save() replaces the file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/deadlock_search.hpp"
+
+namespace wormsim::campaign {
+
+/// What the exhaustive search concluded for one scenario. Lives here (not
+/// runner.hpp) because it is part of the persisted record format.
+enum class SearchOutcome : std::uint8_t {
+  kNotRun,        ///< ground truth skipped (out-of-scope, probe gap)
+  kDeadlock,      ///< the search reached a deadlock configuration
+  kNoDeadlock,    ///< the bounded space was exhausted without one
+  kInconclusive,  ///< state budget hit before a decision
+};
+
+const char* to_string(SearchOutcome outcome);
+
+/// Parses to_string(SearchOutcome) output; nullopt for unknown text (a
+/// corrupt or future-format record).
+[[nodiscard]] std::optional<SearchOutcome> outcome_from_string(
+    std::string_view text);
+
+/// One cached ground-truth result. `states` is persisted exactly so a cache
+/// hit reproduces the record's JSONL bytes bit-for-bit.
+struct TruthRecord {
+  SearchOutcome outcome = SearchOutcome::kNotRun;
+  std::uint64_t states = 0;
+  /// True when the record came from a loaded file rather than this process;
+  /// not persisted. The runner uses it to split warm (cross-run) hits from
+  /// in-run memoization hits.
+  bool from_disk = false;
+};
+
+/// What load() found. `loaded` is false only when the file could not be
+/// read at all (typically: it does not exist yet — a cold start).
+struct TruthLoadStats {
+  bool loaded = false;
+  bool version_ok = false;      ///< magic + format version matched
+  bool fingerprint_ok = false;  ///< header fingerprint matched this store's
+  std::size_t records = 0;      ///< records accepted into the store
+  std::size_t dropped = 0;      ///< trailing lines discarded as corrupt
+};
+
+/// Digest of everything that can change a search verdict: the limits, the
+/// runner's probe knobs, and a constant bumped whenever probe construction
+/// itself changes behaviour. Stores with a different fingerprint never
+/// serve hits.
+[[nodiscard]] std::uint64_t truth_fingerprint(
+    const analysis::SearchLimits& limits, std::size_t max_cycles_probed,
+    std::size_t acyclic_probe_messages);
+
+/// Thread-safe key -> TruthRecord map with the on-disk format above. The
+/// campaign runner uses one instance as both its in-run memo table and its
+/// cross-run cache.
+class TruthStore {
+ public:
+  TruthStore() = default;
+  explicit TruthStore(std::uint64_t fingerprint) : fingerprint_(fingerprint) {}
+
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::optional<TruthRecord> lookup(const std::string& key) const;
+
+  /// Inserts or overwrites. `from_disk` is stored as given (the runner
+  /// always inserts with false).
+  void insert(const std::string& key, TruthRecord record);
+
+  /// Merges `path` into this store (records marked from_disk). See
+  /// TruthLoadStats for the outcome taxonomy; on version or fingerprint
+  /// mismatch nothing is merged and every future lookup misses.
+  TruthLoadStats load(const std::string& path);
+
+  /// Atomically replaces `path` with a sorted snapshot of this store
+  /// (temp file + rename). Returns false when the temp file cannot be
+  /// written or the rename fails.
+  [[nodiscard]] bool save(const std::string& path) const;
+
+  /// Copies `other`'s records into this store. Fingerprints must match.
+  /// A key present in both with a *different* outcome/states is a
+  /// contradiction (two runs disagreeing about deterministic ground truth);
+  /// merge stops and reports it via `error`. Returns false on fingerprint
+  /// mismatch or contradiction.
+  [[nodiscard]] bool merge_from(const TruthStore& other,
+                                std::string* error = nullptr);
+
+  /// The serialized form of one record line (no trailing newline); exposed
+  /// for tests that build corrupt files byte-by-byte.
+  [[nodiscard]] static std::string format_record(const std::string& key,
+                                                 const TruthRecord& record);
+
+  /// Reads just the header fingerprint of `path`; nullopt when the file is
+  /// missing or not a current-version store. Lets `--merge` combine cache
+  /// files on their own (shared) fingerprint instead of re-deriving it from
+  /// command-line flags.
+  [[nodiscard]] static std::optional<std::uint64_t> peek_fingerprint(
+      const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t fingerprint_ = 0;
+  std::map<std::string, TruthRecord> map_;  ///< sorted => deterministic save
+};
+
+}  // namespace wormsim::campaign

@@ -1,8 +1,10 @@
-// Campaign runner: verdict logic, sharding determinism, JSONL stability.
+// Campaign runner: verdict logic, sharding determinism, JSONL stability,
+// persistent truth-cache behaviour, and process-slice concatenation.
 #include "campaign/runner.hpp"
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "core/cyclic_family.hpp"
@@ -150,6 +152,77 @@ TEST(ScenarioRecordJson, ContainsNoTimingFields) {
     EXPECT_EQ(line.find("elapsed"), std::string::npos);
     EXPECT_EQ(line.find("shard"), std::string::npos);
     EXPECT_NE(line.find("\"verdict\""), std::string::npos);
+  }
+}
+
+TEST(RunCampaign, WarmCacheRerunIsAllDiskHitsAndByteIdentical) {
+  const std::string cache =
+      (std::filesystem::path(::testing::TempDir()) / "warm.truthstore")
+          .string();
+  std::filesystem::remove(cache);
+
+  CampaignConfig config = small_config(1);
+  config.cache_file = cache;
+  const CampaignResult cold = run_campaign(config);
+  EXPECT_EQ(cold.truth_disk_hits, 0u);
+  EXPECT_GT(cold.truth_misses, 0u);
+  EXPECT_TRUE(cold.cache_saved);
+  EXPECT_EQ(cold.truth_stored, cold.truth_misses);  // one record per search
+
+  const CampaignResult warm = run_campaign(config);
+  EXPECT_EQ(warm.truth_loaded, cold.truth_stored);
+  EXPECT_EQ(warm.truth_misses, 0u);  // zero searches on a warm rerun
+  EXPECT_EQ(warm.truth_memo_hits, 0u);
+  EXPECT_EQ(warm.truth_disk_hits, cold.truth_disk_hits + cold.truth_memo_hits +
+                                      cold.truth_misses);
+  EXPECT_EQ(jsonl_of(warm), jsonl_of(cold));
+  EXPECT_EQ(warm.states_total, cold.states_total);
+
+  const obs::RunReport report = warm.report(config);
+  EXPECT_EQ(report.values.at("truth_cache.disk_hit_rate"), 1.0);
+  EXPECT_EQ(report.labels.at("truth_cache"), "warm");
+}
+
+TEST(RunCampaign, CacheFileOffLeavesReportCold) {
+  CampaignConfig config = small_config(1);
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.truth_loaded, 0u);
+  EXPECT_FALSE(result.cache_saved);
+  EXPECT_EQ(result.report(config).labels.at("truth_cache"), "off");
+  // The in-memory memo still runs without a cache file.
+  EXPECT_GT(result.truth_memo_hits + result.truth_misses, 0u);
+}
+
+TEST(RunCampaign, SliceConcatenationMatchesSingleProcessRun) {
+  const std::string full = jsonl_of(run_campaign(small_config(1)));
+
+  std::string concatenated;
+  std::uint64_t covered = 0;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    CampaignConfig config = small_config(1);
+    config.shard_index = i;
+    config.shard_total = 3;
+    const CampaignResult slice = run_campaign(config);
+    EXPECT_EQ(slice.first_index, covered);
+    covered = slice.end_index;
+    EXPECT_EQ(slice.records.size(), slice.end_index - slice.first_index);
+    if (!slice.records.empty())
+      EXPECT_EQ(slice.records.front().index, slice.first_index);
+    concatenated += jsonl_of(slice);
+  }
+  EXPECT_EQ(covered, 30u);
+  EXPECT_EQ(concatenated, full);
+}
+
+TEST(RunCampaign, SliceCountsCoverOnlyTheSlice) {
+  CampaignConfig config = small_config(2);
+  config.shard_index = 1;
+  config.shard_total = 4;
+  const CampaignResult slice = run_campaign(config);
+  EXPECT_EQ(slice.agree + slice.disagree + slice.skip, slice.records.size());
+  for (const ScenarioRecord& record : slice.records) {
+    EXPECT_GE(record.index, slice.first_index);
+    EXPECT_LT(record.index, slice.end_index);
   }
 }
 

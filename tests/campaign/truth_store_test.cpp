@@ -1,0 +1,265 @@
+// TruthStore: on-disk format robustness (corrupt tails, version and
+// fingerprint mismatches), atomic-rename save under racing writers, and
+// cross-store merge semantics.
+#include "campaign/truth_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace wormsim::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kFp = 0x1122334455667788ull;
+
+std::string temp_path(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+// TruthStore holds a mutex, so it is neither movable nor copyable; tests
+// fill stores in place.
+void fill(TruthStore& store,
+          std::initializer_list<std::pair<std::string, TruthRecord>> records) {
+  for (const auto& [key, record] : records) store.insert(key, record);
+}
+
+TEST(TruthStore, SaveLoadRoundTripsEveryOutcome) {
+  const std::string path = temp_path("roundtrip.truthstore");
+  TruthStore store(kFp);
+  fill(store, {{"F-|2,2,1|1,3,0", {SearchOutcome::kDeadlock, 12345, false}},
+            {"FH|2,4,1|2,6,1", {SearchOutcome::kNoDeadlock, 0, false}},
+            {"R|uniring||5|1|0|tree|18446744073709551615",
+             {SearchOutcome::kInconclusive, 2'000'000, false}},
+            {"R|mesh|3x3|0|1|0|minimal|7", {SearchOutcome::kNotRun, 0, false}}});
+  ASSERT_TRUE(store.save(path));
+
+  TruthStore loaded(kFp);
+  const TruthLoadStats stats = loaded.load(path);
+  EXPECT_TRUE(stats.loaded);
+  EXPECT_TRUE(stats.version_ok);
+  EXPECT_TRUE(stats.fingerprint_ok);
+  EXPECT_EQ(stats.records, 4u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(loaded.size(), 4u);
+
+  const auto hit = loaded.lookup("R|uniring||5|1|0|tree|18446744073709551615");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->outcome, SearchOutcome::kInconclusive);
+  EXPECT_EQ(hit->states, 2'000'000u);
+  EXPECT_TRUE(hit->from_disk);  // loaded records are warm, not in-run
+  EXPECT_FALSE(loaded.lookup("absent").has_value());
+}
+
+TEST(TruthStore, MissingFileIsACleanColdStart) {
+  TruthStore store(kFp);
+  const TruthLoadStats stats = store.load(temp_path("does_not_exist"));
+  EXPECT_FALSE(stats.loaded);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TruthStore, VersionMismatchRejectsEverything) {
+  const std::string path = temp_path("version.truthstore");
+  TruthStore store(kFp);
+  fill(store, {{"k", {SearchOutcome::kDeadlock, 1}}});
+  ASSERT_TRUE(store.save(path));
+  std::string text = read_file(path);
+  const auto at = text.find(" v1 ");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 4, " v9 ");
+  write_file(path, text);
+
+  TruthStore loaded(kFp);
+  const TruthLoadStats stats = loaded.load(path);
+  EXPECT_TRUE(stats.loaded);
+  EXPECT_FALSE(stats.version_ok);
+  EXPECT_FALSE(stats.fingerprint_ok);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(TruthStore, FingerprintMismatchLoadsAsAllMisses) {
+  const std::string path = temp_path("fingerprint.truthstore");
+  TruthStore store(kFp);
+  fill(store, {{"k", {SearchOutcome::kDeadlock, 1}}});
+  ASSERT_TRUE(store.save(path));
+
+  TruthStore other(kFp + 1);
+  const TruthLoadStats stats = other.load(path);
+  EXPECT_TRUE(stats.loaded);
+  EXPECT_TRUE(stats.version_ok);
+  EXPECT_FALSE(stats.fingerprint_ok);
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_FALSE(other.lookup("k").has_value());
+}
+
+TEST(TruthStore, CorruptTailKeepsTheValidPrefix) {
+  const std::string path = temp_path("tail.truthstore");
+  TruthStore store(kFp);
+  fill(store, {{"a", {SearchOutcome::kDeadlock, 10}},
+                       {"b", {SearchOutcome::kNoDeadlock, 20}},
+                       {"c", {SearchOutcome::kDeadlock, 30}}});
+  ASSERT_TRUE(store.save(path));
+  // Simulate a torn append: truncate mid-way through the final record.
+  std::string text = read_file(path);
+  write_file(path, text.substr(0, text.size() - 9));
+
+  TruthStore loaded(kFp);
+  const TruthLoadStats stats = loaded.load(path);
+  EXPECT_TRUE(stats.fingerprint_ok);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_TRUE(loaded.lookup("a").has_value());
+  EXPECT_TRUE(loaded.lookup("b").has_value());
+  EXPECT_FALSE(loaded.lookup("c").has_value());
+}
+
+TEST(TruthStore, ChecksumFailureTruncatesFromTheBadLine) {
+  const std::string path = temp_path("checksum.truthstore");
+  TruthStore store(kFp);
+  fill(store, {{"a", {SearchOutcome::kDeadlock, 10}},
+                       {"b", {SearchOutcome::kNoDeadlock, 20}},
+                       {"c", {SearchOutcome::kDeadlock, 30}}});
+  ASSERT_TRUE(store.save(path));
+  // Flip one digit of record "b"'s states field: its checksum now fails,
+  // and — append-only semantics — everything after it is untrusted too.
+  std::string text = read_file(path);
+  const auto at = text.find("\t20\t");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 1] = '9';
+  write_file(path, text);
+
+  TruthStore loaded(kFp);
+  const TruthLoadStats stats = loaded.load(path);
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_TRUE(loaded.lookup("a").has_value());
+  EXPECT_FALSE(loaded.lookup("b").has_value());
+  EXPECT_FALSE(loaded.lookup("c").has_value());
+}
+
+TEST(TruthStore, ConcurrentSaversLeaveAFullyFormedFile) {
+  const std::string path = temp_path("race.truthstore");
+  // Writers with distinct record sets race save() on one path. Atomic
+  // rename means the survivor must be one complete snapshot — never an
+  // interleaving — so a load must recover some writer's exact record count
+  // with nothing dropped.
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      TruthStore mine(kFp);
+      for (int k = 0; k <= w; ++k)
+        mine.insert("writer" + std::to_string(w) + "/key" + std::to_string(k),
+                    {SearchOutcome::kDeadlock, static_cast<std::uint64_t>(k)});
+      for (int round = 0; round < kRounds; ++round)
+        ASSERT_TRUE(mine.save(path));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  TruthStore loaded(kFp);
+  const TruthLoadStats stats = loaded.load(path);
+  EXPECT_TRUE(stats.fingerprint_ok);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_GE(stats.records, 1u);
+  EXPECT_LE(stats.records, static_cast<std::size_t>(kWriters));
+  // Writer w's snapshot has w+1 records, all keyed "writerW/...".
+  const std::string prefix =
+      "writer" + std::to_string(stats.records - 1) + "/key0";
+  EXPECT_TRUE(loaded.lookup(prefix).has_value());
+  // No temp litter left behind.
+  std::size_t temps = 0;
+  for (const auto& entry : fs::directory_iterator(::testing::TempDir()))
+    if (entry.path().filename().string().find("race.truthstore.tmp") !=
+        std::string::npos)
+      ++temps;
+  EXPECT_EQ(temps, 0u);
+}
+
+TEST(TruthStore, MergeUnionsAndAcceptsAgreeingOverlap) {
+  TruthStore a(kFp);
+  fill(a, {{"x", {SearchOutcome::kDeadlock, 10}},
+                                  {"y", {SearchOutcome::kNoDeadlock, 20}}});
+  TruthStore b(kFp);
+  fill(b, {{"y", {SearchOutcome::kNoDeadlock, 20}},
+                       {"z", {SearchOutcome::kInconclusive, 30}}});
+  std::string error;
+  ASSERT_TRUE(a.merge_from(b, &error)) << error;
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.lookup("z")->outcome, SearchOutcome::kInconclusive);
+}
+
+TEST(TruthStore, MergeRejectsContradictionsAndForeignFingerprints) {
+  TruthStore a(kFp);
+  fill(a, {{"x", {SearchOutcome::kDeadlock, 10}}});
+  TruthStore contradicting(kFp);
+  fill(contradicting, {{"x", {SearchOutcome::kNoDeadlock, 10}}});
+  std::string error;
+  EXPECT_FALSE(a.merge_from(contradicting, &error));
+  EXPECT_NE(error.find("contradictory"), std::string::npos);
+
+  TruthStore foreign(kFp + 1);
+  fill(foreign, {{"w", {SearchOutcome::kDeadlock, 1}}});
+  EXPECT_FALSE(a.merge_from(foreign, &error));
+  EXPECT_NE(error.find("fingerprint"), std::string::npos);
+}
+
+TEST(TruthStore, PeekFingerprintReadsTheHeader) {
+  const std::string path = temp_path("peek.truthstore");
+  TruthStore store(kFp);
+  fill(store, {});
+  ASSERT_TRUE(store.save(path));
+  EXPECT_EQ(TruthStore::peek_fingerprint(path), kFp);
+  EXPECT_FALSE(TruthStore::peek_fingerprint(temp_path("nope")).has_value());
+  write_file(path, "not a store\n");
+  EXPECT_FALSE(TruthStore::peek_fingerprint(path).has_value());
+}
+
+TEST(TruthStore, FingerprintTracksSearchKnobs) {
+  analysis::SearchLimits limits;
+  const std::uint64_t base = truth_fingerprint(limits, 8, 4);
+  EXPECT_EQ(truth_fingerprint(limits, 8, 4), base);  // stable
+
+  analysis::SearchLimits bigger = limits;
+  bigger.max_states *= 2;
+  EXPECT_NE(truth_fingerprint(bigger, 8, 4), base);
+  EXPECT_NE(truth_fingerprint(limits, 9, 4), base);
+  EXPECT_NE(truth_fingerprint(limits, 8, 5), base);
+
+  // Verdict-neutral knobs must NOT invalidate caches: witness strings,
+  // progress logging, and thread count never change what the search finds.
+  analysis::SearchLimits cosmetic = limits;
+  cosmetic.build_witness = !cosmetic.build_witness;
+  cosmetic.progress_log_interval = 12345;
+  cosmetic.threads = 7;
+  EXPECT_EQ(truth_fingerprint(cosmetic, 8, 4), base);
+}
+
+TEST(TruthStore, OutcomeStringsRoundTrip) {
+  for (const SearchOutcome o :
+       {SearchOutcome::kNotRun, SearchOutcome::kDeadlock,
+        SearchOutcome::kNoDeadlock, SearchOutcome::kInconclusive})
+    EXPECT_EQ(outcome_from_string(to_string(o)), o);
+  EXPECT_FALSE(outcome_from_string("maybe").has_value());
+}
+
+}  // namespace
+}  // namespace wormsim::campaign

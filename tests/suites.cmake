@@ -37,7 +37,10 @@ wormsim_test(campaign_tests
   campaign/classifier_test.cpp
   campaign/shrink_test.cpp
   campaign/runner_test.cpp
+  campaign/truth_store_test.cpp
+  campaign/jsonl_schema_test.cpp
   campaign/fixture_test.cpp)
 target_link_libraries(campaign_tests PRIVATE wormsim_campaign)
 target_compile_definitions(campaign_tests PRIVATE
-  WORMSIM_TEST_DATA_DIR="${CMAKE_CURRENT_SOURCE_DIR}")
+  WORMSIM_TEST_DATA_DIR="${CMAKE_CURRENT_SOURCE_DIR}"
+  WORMSIM_REPO_ROOT="${CMAKE_SOURCE_DIR}")

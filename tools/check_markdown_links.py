@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Walks every *.md under the repo root (skipping build trees and .git),
+extracts inline links and images `[text](target)`, and verifies that each
+relative target exists on disk. External schemes (http/https/mailto) and
+pure in-page anchors (#...) are ignored; a `path#fragment` target is
+checked for the path part only. Stdlib only — runs anywhere CI has a
+Python 3.
+
+Exit status: 0 all links resolve, 1 otherwise (each broken link printed as
+`file:line: broken link -> target`).
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images. Deliberately simple: no nested parentheses in
+# targets (none of our docs need them), reference-style links are rare
+# enough here that plain-text mentions of paths are not validated.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", ".github"}
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        parts = path.relative_to(root).parts
+        if any(p in SKIP_DIRS or p.startswith("build") for p in parts[:-1]):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if file_part.startswith("/"):
+                resolved = root / file_part.lstrip("/")
+            else:
+                resolved = path.parent / file_part
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(root)}:{lineno}: broken link -> {target}"
+                )
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    errors = []
+    count = 0
+    for path in markdown_files(root):
+        count += 1
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

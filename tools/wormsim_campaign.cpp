@@ -10,23 +10,32 @@
 //
 // Usage:
 //   wormsim_campaign [--seed N] [--count N] [--shards N] [--out FILE]
+//                    [--cache-file FILE] [--shard-index I --shard-total N]
 //                    [--fixture-dir DIR] [--max-states N] [--bias any|force|forbid]
 //                    [--probe-out-of-scope] [--profile] [--no-shrink] [--quiet]
 //   wormsim_campaign --replay FIXTURE.json [--max-states N]
+//   wormsim_campaign --merge [--out FILE] [--cache-file FILE] INPUT...
 //
 // Determinism: the JSONL bytes depend only on (--seed, --count, generator
-// knobs, search limits) — never on --shards or wall-clock — so reruns diff
-// clean and shard-count changes are pure speedups.
+// knobs, search limits) — never on --shards, --cache-file, or wall-clock —
+// so reruns diff clean and shard/cache changes are pure speedups.
+// --shard-index/--shard-total run one contiguous slice of the index space
+// per process; concatenating (or --merge-ing) the slices reproduces the
+// single-process bytes. docs/campaign.md is the operator's manual.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "campaign/runner.hpp"
+#include "obs/json.hpp"
 #include "obs/run_report.hpp"
 
 using namespace wormsim;
@@ -36,11 +45,14 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--count N] [--shards N] [--out FILE]\n"
+               "          [--cache-file FILE] [--shard-index I --shard-total N]\n"
                "          [--fixture-dir DIR] [--max-states N]\n"
                "          [--bias any|force|forbid] [--probe-out-of-scope]\n"
                "          [--profile] [--no-shrink] [--quiet]\n"
-               "       %s --replay FIXTURE.json [--max-states N]\n",
-               argv0, argv0);
+               "       %s --replay FIXTURE.json [--max-states N]\n"
+               "       %s --merge [--out FILE] [--cache-file FILE] INPUT...\n"
+               "see docs/campaign.md for the full operator's manual\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -86,6 +98,139 @@ int replay_fixture(const std::string& path, const campaign::EvalOptions& eval) {
   return result.verdict == campaign::Verdict::kDisagree ? 1 : 0;
 }
 
+/// True when `path` starts with the TruthStore magic (any version).
+bool looks_like_truth_store(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string word;
+  return bool(in >> word) && word == "wormsim-truthstore";
+}
+
+/// --merge: validates and combines shard outputs. JSONL slices must parse
+/// line-by-line, carry no duplicate indices, and together cover a gapless
+/// 0..n-1 range; the merged file (--out) is their lines reordered by index,
+/// byte-identical to a single-process run. Cache files must share one
+/// fingerprint and agree on every overlapping key; the union is written to
+/// --cache-file. Exit 0 = merged, 2 = validation failure.
+int merge_inputs(const std::vector<std::string>& inputs,
+                 const std::string& out_path, const std::string& cache_path) {
+  std::map<std::uint64_t, std::string> lines;  // index -> original bytes
+  std::unique_ptr<campaign::TruthStore> merged_cache;
+  std::size_t jsonl_inputs = 0, cache_inputs = 0;
+
+  for (const std::string& path : inputs) {
+    if (looks_like_truth_store(path)) {
+      const auto fp = campaign::TruthStore::peek_fingerprint(path);
+      if (!fp) {
+        std::fprintf(stderr,
+                     "wormsim_campaign: %s: unsupported truth-store version\n",
+                     path.c_str());
+        return 2;
+      }
+      if (!merged_cache)
+        merged_cache = std::make_unique<campaign::TruthStore>(*fp);
+      campaign::TruthStore part(merged_cache->fingerprint());
+      const campaign::TruthLoadStats stats = part.load(path);
+      if (!stats.fingerprint_ok) {
+        std::fprintf(stderr,
+                     "wormsim_campaign: %s: fingerprint mismatch (caches from "
+                     "different search limits cannot be merged)\n",
+                     path.c_str());
+        return 2;
+      }
+      if (stats.dropped > 0)
+        std::fprintf(stderr,
+                     "wormsim_campaign: %s: dropped %zu corrupt trailing "
+                     "line(s)\n",
+                     path.c_str(), stats.dropped);
+      std::string error;
+      if (!merged_cache->merge_from(part, &error)) {
+        std::fprintf(stderr, "wormsim_campaign: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 2;
+      }
+      ++cache_inputs;
+      continue;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "wormsim_campaign: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    ++jsonl_inputs;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const auto parsed = obs::json::parse(line);
+      const auto* index =
+          parsed && parsed->is_object() ? parsed->find("index") : nullptr;
+      const auto* verdict =
+          parsed && parsed->is_object() ? parsed->find("verdict") : nullptr;
+      if (!index || !index->is_number() || !verdict || !verdict->is_string()) {
+        std::fprintf(stderr,
+                     "wormsim_campaign: %s:%zu: not a campaign record\n",
+                     path.c_str(), line_no);
+        return 2;
+      }
+      const auto i = static_cast<std::uint64_t>(index->as_number());
+      if (!lines.emplace(i, line).second) {
+        std::fprintf(stderr,
+                     "wormsim_campaign: %s:%zu: duplicate index %llu "
+                     "(overlapping slices?)\n",
+                     path.c_str(), line_no,
+                     static_cast<unsigned long long>(i));
+        return 2;
+      }
+    }
+  }
+
+  if (jsonl_inputs > 0) {
+    if (lines.empty() || lines.begin()->first != 0 ||
+        lines.rbegin()->first != lines.size() - 1) {
+      std::fprintf(stderr,
+                   "wormsim_campaign: merged indices do not cover 0..%zu "
+                   "without gaps (missing a slice?)\n",
+                   lines.empty() ? 0 : lines.size() - 1);
+      return 2;
+    }
+    if (out_path.empty()) {
+      std::fprintf(stderr,
+                   "wormsim_campaign: --merge with JSONL inputs needs --out\n");
+      return 2;
+    }
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "wormsim_campaign: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    for (const auto& [i, text] : lines) out << text << "\n";
+    std::printf("merged %zu records from %zu slice(s) into %s\n", lines.size(),
+                jsonl_inputs, out_path.c_str());
+  }
+  if (cache_inputs > 0) {
+    if (cache_path.empty()) {
+      std::fprintf(
+          stderr,
+          "wormsim_campaign: --merge with cache inputs needs --cache-file\n");
+      return 2;
+    }
+    if (!merged_cache->save(cache_path)) {
+      std::fprintf(stderr, "wormsim_campaign: cannot write %s\n",
+                   cache_path.c_str());
+      return 2;
+    }
+    std::printf("merged %zu truth record(s) from %zu cache(s) into %s\n",
+                merged_cache->size(), cache_inputs, cache_path.c_str());
+  }
+  if (jsonl_inputs + cache_inputs == 0) {
+    std::fprintf(stderr, "wormsim_campaign: --merge needs input files\n");
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,6 +238,9 @@ int main(int argc, char** argv) {
   config.count = 1000;
   std::string out_path = "campaign.jsonl";
   std::string replay_path;
+  bool out_path_set = false;
+  bool merge = false;
+  std::vector<std::string> merge_inputs_list;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -111,8 +259,15 @@ int main(int argc, char** argv) {
       config.count = parse_u64(value(), "--count");
     } else if (arg == "--shards") {
       config.shards = static_cast<unsigned>(parse_u64(value(), "--shards"));
+    } else if (arg == "--shard-index") {
+      config.shard_index = parse_u64(value(), "--shard-index");
+    } else if (arg == "--shard-total") {
+      config.shard_total = parse_u64(value(), "--shard-total");
+    } else if (arg == "--cache-file") {
+      config.cache_file = value();
     } else if (arg == "--out") {
       out_path = value();
+      out_path_set = true;
     } else if (arg == "--fixture-dir") {
       config.fixture_dir = value();
     } else if (arg == "--max-states") {
@@ -138,15 +293,27 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--replay") {
       replay_path = value();
+    } else if (arg == "--merge") {
+      merge = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
+    } else if (merge && arg.rfind("--", 0) != 0) {
+      merge_inputs_list.push_back(arg);
     } else {
       return usage(argv[0]);
     }
   }
 
+  if (merge)
+    return merge_inputs(merge_inputs_list, out_path_set ? out_path : "",
+                        config.cache_file);
   if (!replay_path.empty()) return replay_fixture(replay_path, config.eval);
+  if (config.shard_total == 0 || config.shard_index >= config.shard_total) {
+    std::fprintf(stderr,
+                 "wormsim_campaign: --shard-index must be < --shard-total\n");
+    return 2;
+  }
 
   const campaign::CampaignResult result = campaign::run_campaign(config);
 
@@ -164,11 +331,18 @@ int main(int argc, char** argv) {
 
   if (!quiet) {
     std::printf(
-        "campaign seed=%llu count=%llu shards=%u\n"
+        "campaign seed=%llu count=%llu shards=%u\n",
+        static_cast<unsigned long long>(config.seed),
+        static_cast<unsigned long long>(config.count), result.shards_used);
+    if (config.shard_total > 1)
+      std::printf("  slice %llu/%llu: indices [%llu, %llu)\n",
+                  static_cast<unsigned long long>(config.shard_index),
+                  static_cast<unsigned long long>(config.shard_total),
+                  static_cast<unsigned long long>(result.first_index),
+                  static_cast<unsigned long long>(result.end_index));
+    std::printf(
         "  agree=%llu disagree=%llu skip=%llu states=%llu\n"
         "  elapsed=%.2fs (%.1f scenarios/s)\n",
-        static_cast<unsigned long long>(config.seed),
-        static_cast<unsigned long long>(config.count), result.shards_used,
         static_cast<unsigned long long>(result.agree),
         static_cast<unsigned long long>(result.disagree),
         static_cast<unsigned long long>(result.skip),
@@ -178,6 +352,16 @@ int main(int argc, char** argv) {
             ? static_cast<double>(result.records.size()) /
                   result.elapsed_seconds
             : 0.0);
+    if (!config.cache_file.empty())
+      std::printf("  truth-cache %s: loaded=%llu disk-hits=%llu "
+                  "memo-hits=%llu misses=%llu stored=%llu%s\n",
+                  result.truth_disk_hits > 0 ? "warm" : "cold",
+                  static_cast<unsigned long long>(result.truth_loaded),
+                  static_cast<unsigned long long>(result.truth_disk_hits),
+                  static_cast<unsigned long long>(result.truth_memo_hits),
+                  static_cast<unsigned long long>(result.truth_misses),
+                  static_cast<unsigned long long>(result.truth_stored),
+                  result.cache_saved ? "" : " (SAVE FAILED)");
     for (const auto& [rule, n] : result.rule_counts)
       std::printf("  rule %-22s %llu\n", rule.c_str(),
                   static_cast<unsigned long long>(n));
