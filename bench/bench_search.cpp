@@ -72,6 +72,40 @@ void BM_Search_Fig1MessageCount(benchmark::State& state) {
 BENCHMARK(BM_Search_Fig1MessageCount)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+void BM_Search_Fig1Reduction(benchmark::State& state) {
+  // The ISSUE-5 headline rows: Figure-1 safety proof at x1/x2 copies under
+  // each reduction mode. x2 duplicates every spec, so twin symmetry (safe)
+  // collapses the interchangeable-copy interleavings; on adds per-state
+  // component factorization.
+  const core::CyclicFamily family(core::fig1_spec());
+  const auto base = family.message_specs();
+  std::vector<sim::MessageSpec> specs;
+  const auto copies = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < copies; ++i)
+    specs.insert(specs.end(), base.begin(), base.end());
+  analysis::SearchLimits limits;
+  limits.reduction = static_cast<analysis::ReductionMode>(state.range(1));
+
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(), specs, analysis::AdversaryModel::kSynchronous,
+        limits);
+  }
+  state.SetLabel(std::string("reduction=") +
+                 analysis::to_string(limits.reduction));
+  state.counters["copies"] = static_cast<double>(copies);
+  state.counters["reduction"] = static_cast<double>(state.range(1));
+  state.counters["states"] = static_cast<double>(result.states_explored);
+  state.counters["deadlock"] = result.deadlock_found ? 1.0 : 0.0;
+  state.counters["exhausted"] = result.exhausted ? 1.0 : 0.0;
+  state.counters["states_per_sec"] = result.profile.states_per_second;
+}
+BENCHMARK(BM_Search_Fig1Reduction)
+    ->Args({1, 0})->Args({1, 1})->Args({1, 2})
+    ->Args({2, 0})->Args({2, 1})->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Search_DelayBudgetCost(benchmark::State& state) {
   // State-space growth of the bounded-delay adversary on Figure 1.
   const core::CyclicFamily family(core::fig1_spec());

@@ -8,9 +8,11 @@
 #include <numeric>
 #include <optional>
 #include <sstream>
+#include <string_view>
 #include <thread>
 
 #include "analysis/state_table.hpp"
+#include "routing/routing.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -74,14 +76,45 @@ class TakenSet {
 /// prefixes explode the search). A DFS frame holds only this cursor, not a
 /// materialized branch vector, so memory stays flat at high branch factors
 /// and each branch is costed only when the DFS actually reaches it.
+///
+/// Reduction (DESIGN.md §12): the engine may hand the generator a
+/// GenReduction. Twin chains cap each twin's odometer digit at its next
+/// sibling's current value, so only canonical (non-decreasing) option
+/// tuples within each chain are enumerated — every pruned combo is the
+/// image of a canonical one under a twin transposition, which is an
+/// automorphism of the transition system. Independence classes switch the
+/// odometer to phased mode: one class at a time varies over its full range
+/// while every other class stays pinned at its deterministic greedy option,
+/// turning a product of class fan-outs into a sum.
+struct GenReduction {
+  std::vector<std::uint32_t> twin_next;   ///< per request; kNoTwin when none
+  std::vector<std::uint32_t> comp_of;     ///< per request; set when phased
+  std::vector<std::uint32_t> greedy_opt;  ///< per request; set when phased
+  std::uint32_t comp_count = 1;           ///< > 1 enables phased mode
+
+  /// Back to the default-constructed state, keeping vector capacity —
+  /// pooled instances are reset before reuse on the next state.
+  void reset() {
+    twin_next.clear();
+    comp_of.clear();
+    greedy_opt.clear();
+    comp_count = 1;
+  }
+};
+
 class AssignmentGenerator {
  public:
   AssignmentGenerator(std::vector<sim::MessageRequests> requests,
-                      AdversaryModel model, std::size_t max_branches)
+                      AdversaryModel model, std::size_t max_branches,
+                      GenReduction reduction = {})
       : requests_(std::move(requests)),
         odometer_(requests_.size(), 0),
+        red_(std::move(reduction)),
+        phased_(red_.comp_count > 1),
         model_(model),
-        max_branches_(max_branches) {}
+        max_branches_(max_branches) {
+    if (phased_) load_phase();
+  }
 
   /// Fills `out` with the next legal assignment; returns false when the
   /// combos are exhausted or the branch cap was hit (see truncated()).
@@ -93,14 +126,19 @@ class AssignmentGenerator {
         truncated_ = true;  // unexplored combos remain beyond the cap
         return false;
       }
-      out.clear();
-      taken.reset();
-      bool valid = true;
-      for (std::size_t i = 0; i < m && valid; ++i) {
-        if (is_skip(i)) continue;
-        const ChannelId c = requests_[i].channels[odometer_[i]];
-        if (!taken.try_take(c)) valid = false;  // collision
-        else out.grants.emplace_back(c, requests_[i].message);
+      // Phased mode: the all-greedy combo already appeared while phase 0's
+      // class swept over its own greedy option; later phases would repeat
+      // it, so the revisit is skipped.
+      bool valid = !(phase_ > 0 && varying_class_is_greedy());
+      if (valid) {
+        out.clear();
+        taken.reset();
+        for (std::size_t i = 0; i < m && valid; ++i) {
+          if (is_skip(i)) continue;
+          const ChannelId c = requests_[i].channels[odometer_[i]];
+          if (!taken.try_take(c)) valid = false;  // collision
+          else out.grants.emplace_back(c, requests_[i].message);
+        }
       }
       if (valid) {
         for (std::size_t i = 0; i < m && valid; ++i) {
@@ -131,23 +169,69 @@ class AssignmentGenerator {
   /// Legal assignments produced so far.
   [[nodiscard]] std::size_t yielded() const { return yielded_; }
 
+  /// Donates the generator's heap structures (request list, reduction
+  /// vectors) back to the caller's pools for reuse by the next state's
+  /// generator. The generator must not be used afterwards.
+  void recycle_into(std::vector<std::vector<sim::MessageRequests>>& groups,
+                    std::vector<GenReduction>& reductions) {
+    if (groups.size() < 64) groups.push_back(std::move(requests_));
+    if (reductions.size() < 64) reductions.push_back(std::move(red_));
+  }
+
  private:
   [[nodiscard]] bool is_skip(std::size_t i) const {
     return odometer_[i] == requests_[i].channels.size();
   }
 
+  /// Highest option digit i may hold: skip, further capped by the next twin
+  /// sibling's current digit (canonical tuples are non-decreasing along
+  /// each chain; equal grant digits collide and are filtered like any
+  /// other collision).
+  [[nodiscard]] std::size_t limit(std::size_t i) const {
+    std::size_t cap = requests_[i].channels.size();
+    if (!red_.twin_next.empty() && red_.twin_next[i] != kNoTwin)
+      cap = std::min(cap, odometer_[red_.twin_next[i]]);
+    return cap;
+  }
+
+  /// Phased mode: requests outside the currently varying class hold their
+  /// greedy option and are never advanced.
+  [[nodiscard]] bool pinned(std::size_t i) const {
+    return phased_ && red_.comp_of[i] != phase_;
+  }
+
+  [[nodiscard]] bool varying_class_is_greedy() const {
+    for (std::size_t i = 0; i < requests_.size(); ++i)
+      if (red_.comp_of[i] == phase_ && odometer_[i] != red_.greedy_opt[i])
+        return false;
+    return true;
+  }
+
+  void load_phase() {
+    for (std::size_t i = 0; i < requests_.size(); ++i)
+      odometer_[i] = pinned(i) ? red_.greedy_opt[i] : 0;
+  }
+
   void advance() {
     const std::size_t m = requests_.size();
-    std::size_t i = 0;
-    for (; i < m; ++i) {
-      if (++odometer_[i] <= requests_[i].channels.size()) break;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (pinned(i)) continue;
+      if (++odometer_[i] <= limit(i)) return;
       odometer_[i] = 0;
     }
-    if (m == 0 || i == m) done_ = true;
+    // The (current phase's) odometer wrapped around.
+    if (!phased_ || ++phase_ >= red_.comp_count) {
+      done_ = true;
+      return;
+    }
+    load_phase();
   }
 
   std::vector<sim::MessageRequests> requests_;
   std::vector<std::size_t> odometer_;
+  GenReduction red_;
+  bool phased_;
+  std::uint32_t phase_ = 0;
   AdversaryModel model_;
   std::size_t max_branches_;
   std::size_t yielded_ = 0;
@@ -189,6 +273,19 @@ unsigned resolve_threads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+/// Per-search reduction inputs, resolved once by the entry points: message
+/// specs (twin detection) and — when every route could be traced — the full
+/// oblivious route of each message (component independence). Both indexed
+/// by MessageId. Adaptive searches carry specs only: without a fixed route
+/// there is no shrinking active suffix, so component reduction degrades to
+/// twin symmetry alone.
+struct ReductionContext {
+  ReductionMode mode = ReductionMode::kOff;
+  std::vector<sim::MessageSpec> specs;
+  std::vector<std::vector<ChannelId>> routes;
+  bool have_routes = false;
+};
+
 /// The DFS engine shared by the oblivious and adaptive entry points.
 ///
 /// Serial mode (threads == 1) is one DFS over the whole space. Parallel
@@ -205,10 +302,11 @@ unsigned resolve_threads(unsigned requested) {
 class SearchEngine {
  public:
   SearchEngine(const topo::Network& net, AdversaryModel model,
-               const SearchLimits& limits)
+               const SearchLimits& limits, const ReductionContext& reduction)
       : net_(net),
         model_(model),
         limits_(limits),
+        red_(reduction),
         delay_mode_(model == AdversaryModel::kBoundedDelay),
         threads_(resolve_threads(limits.threads)),
         visited_(threads_ <= 1
@@ -287,13 +385,16 @@ class SearchEngine {
 
     if (found) replay_deadlock(result, pristine, winner_path, message_count);
 
-    const auto elapsed = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - started_);
-    result.profile.elapsed_seconds = elapsed.count();
+    // Clamp: steady_clock quantization can report 0 elapsed on tiny
+    // searches, which used to surface as 0 states/sec on warm fixtures.
+    const double secs = std::max(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count(),
+        1e-9);
+    result.profile.elapsed_seconds = secs;
     result.profile.states_per_second =
-        elapsed.count() > 0
-            ? static_cast<double>(result.states_explored) / elapsed.count()
-            : 0;
+        static_cast<double>(result.states_explored) / secs;
     return result;
   }
 
@@ -309,6 +410,19 @@ class SearchEngine {
     TakenSet taken;
     std::string key_scratch;
     Assignment branch_scratch;
+    /// Retired simulators waiting for reuse by fork_sim: copy-assignment
+    /// into a warm simulator keeps its heap buffers, so the DFS hot loop
+    /// stops allocating per fork once the pool fills.
+    std::vector<sim::WormholeSimulator> sim_pool;
+    /// Retired generator internals (request lists, reduction vectors) from
+    /// retire_frame, reused by open_frame so per-state expansion stops
+    /// allocating once the DFS warms up. Same idea as sim_pool.
+    std::vector<std::vector<sim::MessageRequests>> groups_pool;
+    std::vector<GenReduction> red_pool;
+    /// Reduction scratch (analysis/reduction.hpp), reused across states.
+    ComponentScratch comp_scratch;
+    std::vector<std::span<const ChannelId>> actives;
+    std::vector<std::uint32_t> comp_of;
     SearchProfile profile;
     bool exhausted = true;
     bool found_deadlock = false;
@@ -324,6 +438,10 @@ class SearchEngine {
   /// stolen stays on the stack as an entry-edge tombstone until its subtree
   /// finishes (the deadlock path reconstruction walks those edges).
   struct Frame {
+    Frame(sim::WormholeSimulator&& s, AssignmentGenerator&& g,
+          std::vector<std::uint32_t>&& sp)
+        : sim(std::move(s)), gen(std::move(g)), spent(std::move(sp)) {}
+
     sim::WormholeSimulator sim;
     AssignmentGenerator gen;
     std::vector<std::uint32_t> spent;
@@ -358,16 +476,23 @@ class SearchEngine {
     });
   }
 
-  /// Memoizes one state: binary key into the worker's scratch buffer (full
-  /// 32-bit spent values in delay mode — the old string key truncated them
-  /// to a byte), one hash, one striped-table insert, one atomic count.
+  /// Memoizes one state: one hash, one striped-table insert, one atomic
+  /// count. Synchronous searches hash the simulator's own key cache in
+  /// place; only the delay model — whose key carries a spent-delay suffix
+  /// (full 32-bit values: the old string key truncated them to a byte) —
+  /// assembles the key in the worker's scratch buffer.
   Register register_state(const sim::WormholeSimulator& sim,
                           std::span<const std::uint32_t> spent, Worker& w) {
-    w.key_scratch.clear();
-    sim.append_state_key(w.key_scratch);
-    if (delay_mode_)
+    std::string_view key;
+    if (delay_mode_) {
+      w.key_scratch.clear();
+      sim.append_state_key(w.key_scratch);
       for (const std::uint32_t v : spent) append_u32(w.key_scratch, v);
-    if (!visited_.insert(w.key_scratch)) {
+      key = w.key_scratch;
+    } else {
+      key = sim.state_key_view();
+    }
+    if (!visited_.insert(key)) {
       ++w.profile.memo_hits;
       return Register::kSeen;
     }
@@ -391,15 +516,92 @@ class SearchEngine {
     return Register::kFresh;
   }
 
-  /// Opens a freshly registered state for expansion: terminal checks plus a
-  /// lazy branch generator. nullopt for terminals — all-consumed (safe), or
-  /// frozen with unfinished messages, which sets w.found_deadlock (the
-  /// caller owns the path that reached the state).
-  std::optional<Frame> open_frame(sim::WormholeSimulator&& sim,
-                                  std::vector<std::uint32_t>&& spent,
-                                  Assignment&& entry, Worker& w) {
-    if (sim.all_consumed()) return std::nullopt;  // safe terminal
-    std::vector<sim::MessageRequests> groups = sim.peek_requests();
+  /// Forks a child off `parent`. Reuses a pooled retired simulator when one
+  /// is available: copy-assignment overwrites its contents but keeps the
+  /// vector/string capacity it already grew.
+  [[nodiscard]] sim::WormholeSimulator fork_sim(
+      const sim::WormholeSimulator& parent, Worker& w) {
+    if (w.sim_pool.empty()) return sim::WormholeSimulator(parent);
+    sim::WormholeSimulator child = std::move(w.sim_pool.back());
+    w.sim_pool.pop_back();
+    child = parent;
+    return child;
+  }
+
+  static void donate_sim(sim::WormholeSimulator&& sim, Worker& w) {
+    if (w.sim_pool.size() < 64) w.sim_pool.push_back(std::move(sim));
+  }
+
+  /// Builds the generator's reduction structure for one state (reduction.hpp
+  /// has the primitives, DESIGN.md §12 the soundness arguments): twin chains
+  /// always; in kOn additionally the independence classes of the request
+  /// list under active-suffix connectivity, with the greedy option of every
+  /// request precomputed for class pinning.
+  void prepare_reduction(const sim::WormholeSimulator& sim,
+                         const std::vector<sim::MessageRequests>& groups,
+                         std::span<const std::uint32_t> spent,
+                         GenReduction& red, Worker& w) {
+    twin_next_siblings(groups, red_.specs, spent, red.twin_next);
+    bool any_twin = false;
+    for (const std::uint32_t t : red.twin_next) any_twin |= (t != kNoTwin);
+    if (!any_twin) red.twin_next.clear();
+
+    if (red_.mode != ReductionMode::kOn || !red_.have_routes ||
+        groups.size() < 2)
+      return;
+    const std::size_t n = sim.message_count();
+    w.actives.clear();
+    w.actives.reserve(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      std::span<const ChannelId> active;
+      if (sim.status(MessageId{m}) != sim::MessageStatus::kConsumed) {
+        // Channels the message may still hold or acquire: the unreleased
+        // suffix of its route. This set only ever shrinks, which is what
+        // lets "independent now" mean "independent forever".
+        const std::vector<ChannelId>& route = red_.routes[m];
+        const std::size_t from =
+            std::min(sim.released_count(MessageId{m}), route.size());
+        active = std::span<const ChannelId>(route).subspan(from);
+      }
+      w.actives.push_back(active);
+    }
+    const std::uint32_t count = request_components(
+        groups, w.actives, net_.channel_count(), w.comp_scratch, w.comp_of);
+    if (count < 2) return;
+    red.comp_of = w.comp_of;
+    red.comp_count = count;
+    // Greedy resolution: scanning in request order, each request takes its
+    // lowest free untaken candidate, else skips. A pinned moving request is
+    // therefore never idle beside a free candidate, so the pinned classes
+    // are legal in both adversary models and cost no delay budget.
+    red.greedy_opt.resize(groups.size());
+    w.taken.reset();
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      red.greedy_opt[i] =
+          static_cast<std::uint32_t>(groups[i].channels.size());  // skip
+      for (std::size_t k = 0; k < groups[i].channels.size(); ++k) {
+        if (w.taken.try_take(groups[i].channels[k])) {
+          red.greedy_opt[i] = static_cast<std::uint32_t>(k);
+          break;
+        }
+      }
+    }
+  }
+
+  enum class Open { kPushed, kTerminal };
+
+  /// Opens a freshly registered state for expansion, emplacing the new
+  /// frame directly on `stack` (an earlier optional<Frame>-returning
+  /// version moved the simulator two extra times per fresh state, which
+  /// showed up in profiles). kTerminal with w.found_deadlock set means the
+  /// state is frozen with unfinished messages — a deadlock (the caller owns
+  /// the path that reached it); without it, an all-consumed safe terminal
+  /// whose simulator the caller still owns and may recycle.
+  Open open_frame(std::vector<Frame>& stack, sim::WormholeSimulator&& sim,
+                  std::vector<std::uint32_t>&& spent, Worker& w) {
+    if (sim.all_consumed()) return Open::kTerminal;  // safe terminal
+    std::vector<sim::MessageRequests> groups = take_pooled(w.groups_pool);
+    sim.peek_requests_into(groups);
     if (groups.empty()) {
       // Only the idle transition exists; if it makes no progress the state
       // is frozen forever with unfinished messages: a deadlock. Otherwise
@@ -407,28 +609,40 @@ class SearchEngine {
       sim::WormholeSimulator probe(sim);
       if (!probe.step_with_grants({})) {
         w.found_deadlock = true;
-        return std::nullopt;
+        return Open::kTerminal;
       }
     }
-    Frame frame{std::move(sim),
-                AssignmentGenerator(std::move(groups), model_,
-                                    limits_.max_branches_per_state),
-                std::move(spent),
-                std::move(entry),
-                Assignment{},
-                false};
+    GenReduction red = take_pooled(w.red_pool);
+    red.reset();
+    if (red_.mode != ReductionMode::kOff && !groups.empty())
+      prepare_reduction(sim, groups, spent, red, w);
+    Frame& frame = stack.emplace_back(
+        std::move(sim),
+        AssignmentGenerator(std::move(groups), model_,
+                            limits_.max_branches_per_state, std::move(red)),
+        std::move(spent));
     frame.has_pending = frame.gen.next(frame.pending, w.taken);
-    return frame;
+    return Open::kPushed;
   }
 
-  /// Retires a frame: truncation bookkeeping plus the branch-factor sample.
-  void retire_frame(const Frame& frame, Worker& w) {
+  template <typename T>
+  static T take_pooled(std::vector<T>& pool) {
+    if (pool.empty()) return T{};
+    T value = std::move(pool.back());
+    pool.pop_back();
+    return value;
+  }
+
+  /// Retires a frame: truncation bookkeeping, the branch-factor sample, and
+  /// donating the generator's heap structures back to the worker pools.
+  void retire_frame(Frame& frame, Worker& w) {
     if (frame.gen.truncated()) {
       ++w.profile.branch_truncations;
       w.exhausted = false;
     }
     w.profile.branch_factor.observe(
         static_cast<double>(frame.gen.yielded()));
+    frame.gen.recycle_into(w.groups_pool, w.red_pool);
   }
 
   /// Serial BFS over the first plies until the queue holds enough subtree
@@ -440,6 +654,7 @@ class SearchEngine {
     const std::size_t target = std::size_t{threads_} * 4;
     std::size_t pops = 0;
     const std::size_t pop_cap = std::max<std::size_t>(64, target * 16);
+    std::vector<Frame> scratch;  // one-frame stack, reused across pops
     while (!queue.empty() && queue.size() < target && pops < pop_cap) {
       WorkItem item = std::move(queue.front());
       queue.pop_front();
@@ -447,23 +662,24 @@ class SearchEngine {
       std::vector<Assignment> path = std::move(item.path);
       w.profile.peak_depth =
           std::max<std::uint64_t>(w.profile.peak_depth, path.size() + 1);
-      auto frame =
-          open_frame(std::move(item.sim), std::move(item.spent),
-                     Assignment{}, w);
+      scratch.clear();
+      const Open opened =
+          open_frame(scratch, std::move(item.sim), std::move(item.spent), w);
       if (w.found_deadlock) {
         found = true;
         winner_path = std::move(path);
         deadlock_found_.store(true, std::memory_order_relaxed);
         return;
       }
-      if (!frame) continue;  // safe terminal
-      while (frame->has_pending) {
+      if (opened == Open::kTerminal) continue;  // safe terminal
+      Frame& frame = scratch.back();
+      while (frame.has_pending) {
         Assignment& choice = w.branch_scratch;
-        choice = std::move(frame->pending);
-        frame->has_pending = frame->gen.next(frame->pending, w.taken);
+        choice = std::move(frame.pending);
+        frame.has_pending = frame.gen.next(frame.pending, w.taken);
         std::vector<std::uint32_t> child_spent;
         if (delay_mode_) {
-          child_spent = frame->spent;
+          child_spent = frame.spent;
           for (const MessageId m : choice.stalled_moving)
             ++child_spent[m.index()];
           if (!budget_ok(child_spent)) {
@@ -472,14 +688,17 @@ class SearchEngine {
           }
         }
         sim::WormholeSimulator child =
-            frame->has_pending ? sim::WormholeSimulator(frame->sim)
-                               : std::move(frame->sim);
-        child.step_with_grants(choice.grants);
+            frame.has_pending ? fork_sim(frame.sim, w)
+                              : std::move(frame.sim);
+        child.step_with_grants_trusted(choice.grants);
         const Register reg = register_state(child, child_spent, w);
-        if (reg == Register::kSeen) continue;
+        if (reg == Register::kSeen) {
+          donate_sim(std::move(child), w);
+          continue;
+        }
         if (reg == Register::kOverBudget) {
           w.exhausted = false;
-          retire_frame(*frame, w);
+          retire_frame(frame, w);
           return;
         }
         std::vector<Assignment> child_path = path;
@@ -487,7 +706,7 @@ class SearchEngine {
         queue.push_back(WorkItem{std::move(child), std::move(child_spent),
                                  std::move(child_path)});
       }
-      retire_frame(*frame, w);
+      retire_frame(frame, w);
     }
   }
 
@@ -520,14 +739,11 @@ class SearchEngine {
       deadlock_found_.store(true, std::memory_order_relaxed);
     };
 
-    auto root_frame = open_frame(std::move(item.sim), std::move(item.spent),
-                                 Assignment{}, w);
-    if (w.found_deadlock) {
-      report_deadlock(std::move(item.path));
+    if (open_frame(stack, std::move(item.sim), std::move(item.spent), w) ==
+        Open::kTerminal) {
+      if (w.found_deadlock) report_deadlock(std::move(item.path));
       return;
     }
-    if (!root_frame) return;  // safe terminal
-    stack.push_back(std::move(*root_frame));
     w.profile.peak_depth = std::max<std::uint64_t>(
         w.profile.peak_depth, base_depth + stack.size());
 
@@ -561,20 +777,23 @@ class SearchEngine {
       // the child takes it by move. The emptied frame stays on the stack as
       // a tombstone carrying its entry edge.
       sim::WormholeSimulator child =
-          top.has_pending ? sim::WormholeSimulator(top.sim)
-                          : std::move(top.sim);
-      child.step_with_grants(choice.grants);
+          top.has_pending ? fork_sim(top.sim, w) : std::move(top.sim);
+      child.step_with_grants_trusted(choice.grants);
 
       const Register reg = register_state(child, child_spent, w);
-      if (reg == Register::kSeen) continue;
+      if (reg == Register::kSeen) {
+        donate_sim(std::move(child), w);
+        continue;
+      }
       if (reg == Register::kOverBudget) {
         w.exhausted = false;
         drain_observe();
         return;
       }
 
-      auto next_frame = open_frame(std::move(child), std::move(child_spent),
-                                   Assignment{}, w);
+      // NOTE: `top` dangles past this point if the push reallocated.
+      const Open opened =
+          open_frame(stack, std::move(child), std::move(child_spent), w);
       if (w.found_deadlock) {
         // The deadlock execution: the item's prefix, every entry choice on
         // the DFS stack (subtree root excluded), then the final choice.
@@ -586,14 +805,16 @@ class SearchEngine {
         drain_observe();
         return;
       }
-      if (next_frame) {
+      if (opened == Open::kPushed) {
         // The frame adopts the scratch assignment as its entry edge (the
         // generator clears moved-from scratch before reusing it); copying
         // the grant vector per fresh state showed up in the profile.
-        next_frame->entry = std::move(w.branch_scratch);
-        stack.push_back(std::move(*next_frame));
+        stack.back().entry = std::move(w.branch_scratch);
         w.profile.peak_depth = std::max<std::uint64_t>(
             w.profile.peak_depth, base_depth + stack.size());
+      } else {
+        // Safe terminal: open_frame left `child` intact; recycle it.
+        donate_sim(std::move(child), w);
       }
     }
   }
@@ -640,6 +861,7 @@ class SearchEngine {
   const topo::Network& net_;
   const AdversaryModel model_;
   const SearchLimits& limits_;
+  const ReductionContext& red_;
   const bool delay_mode_;
   const unsigned threads_;
 
@@ -656,9 +878,168 @@ DeadlockSearchResult search_core(sim::WormholeSimulator root,
                                  std::size_t message_count,
                                  const topo::Network& net,
                                  AdversaryModel model,
-                                 const SearchLimits& limits) {
-  SearchEngine engine(net, model, limits);
+                                 const SearchLimits& limits,
+                                 const ReductionContext& reduction) {
+  SearchEngine engine(net, model, limits, reduction);
   return engine.run(std::move(root), message_count);
+}
+
+/// Component ids (dense, by first appearance) of each message when two
+/// messages are connected iff their full routes share a channel, directly
+/// or through a chain of other messages. Returns the component count.
+std::uint32_t route_components(std::span<const std::vector<ChannelId>> routes,
+                               std::size_t channel_count,
+                               std::vector<std::uint32_t>& comp_of) {
+  const std::size_t n = routes.size();
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  std::vector<std::uint32_t> claim(channel_count, kNoTwin);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const ChannelId c : routes[i]) {
+      std::uint32_t& slot = claim[c.index()];
+      if (slot == kNoTwin) {
+        slot = static_cast<std::uint32_t>(i);
+        continue;
+      }
+      const std::uint32_t a = find(slot);
+      const std::uint32_t b = find(static_cast<std::uint32_t>(i));
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  comp_of.assign(n, 0);
+  std::vector<std::uint32_t> renumber(n, kNoTwin);
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t root = find(static_cast<std::uint32_t>(i));
+    if (renumber[root] == kNoTwin) renumber[root] = count++;
+    comp_of[i] = renumber[root];
+  }
+  return count;
+}
+
+/// Finishes a decomposed search that found a deadlock inside one component:
+/// remaps the component witness onto the original message ids, replays it
+/// on the full network, then greedily drains the untouched components so
+/// the terminal state is frozen under the idle transition — the same
+/// Definition-6 shape an engine-found deadlock replays to.
+void finish_decomposed_witness(DeadlockSearchResult& total,
+                               const routing::RoutingAlgorithm& alg,
+                               std::span<const sim::MessageSpec> messages,
+                               const SearchLimits& limits,
+                               const DeadlockSearchResult& sub,
+                               std::span<const std::uint32_t> to_orig) {
+  total.deadlock_found = true;
+  sim::SimConfig config;
+  config.buffer_depth = limits.buffer_depth;
+  sim::WormholeSimulator replay(alg, config);
+  for (const sim::MessageSpec& spec : messages) replay.add_message(spec);
+
+  for (const auto& cycle : sub.witness_grants) {
+    std::vector<std::pair<ChannelId, MessageId>> grants;
+    grants.reserve(cycle.size());
+    for (const auto& [channel, message] : cycle)
+      grants.emplace_back(channel, MessageId{to_orig[message.index()]});
+    replay.step_with_grants(grants);
+    total.witness_grants.push_back(std::move(grants));
+  }
+
+  // The deadlocked component is frozen: its messages see only busy channels
+  // (channel-disjointness keeps the other components off them), so they
+  // raise no requests. Drain everything else to consumption or freeze.
+  TakenSet taken(alg.net().channel_count());
+  for (;;) {
+    const std::vector<sim::MessageRequests> groups = replay.peek_requests();
+    std::vector<std::pair<ChannelId, MessageId>> grants;
+    taken.reset();
+    for (const sim::MessageRequests& g : groups) {
+      for (const ChannelId c : g.channels) {
+        if (taken.try_take(c)) {
+          grants.emplace_back(c, g.message);
+          break;
+        }
+      }
+    }
+    if (grants.empty()) {
+      sim::WormholeSimulator probe(replay);
+      if (!probe.step_with_grants({})) break;  // frozen: done
+      replay.step_with_grants({});  // idle progress (delivered worms drain)
+      total.witness_grants.emplace_back();
+      continue;
+    }
+    replay.step_with_grants(grants);
+    total.witness_grants.push_back(std::move(grants));
+  }
+
+  WORMSIM_ASSERT(!replay.all_consumed());
+  if (limits.build_witness) {
+    Assignment describe;
+    for (const auto& cycle : total.witness_grants) {
+      describe.clear();
+      describe.grants = cycle;
+      total.witness.push_back(describe_assignment(alg.net(), describe));
+    }
+    if (total.witness.empty())
+      total.witness.push_back("initial state is frozen");
+  }
+  total.deadlock_configuration = snapshot(replay);
+  const auto occ = replay.occupancy();
+  total.deadlock_cycle = find_wait_cycle(
+      occ, [&replay](ChannelId c) { return replay.channel_owner(c); });
+}
+
+/// Root component decomposition (DESIGN.md §12.3): when the messages split
+/// into route-disjoint components, the product state space factors and each
+/// component is searched on its own — a deadlock exists iff some component
+/// deadlocks, and the space is exhausted iff every component search is.
+/// nullopt when the messages form a single component (caller runs the plain
+/// engine). Synchronous model only: witnesses stay stall-free, so the
+/// remap-and-replay above reproduces the deadlock exactly.
+std::optional<DeadlockSearchResult> decomposed_find_deadlock(
+    const routing::RoutingAlgorithm& alg,
+    std::span<const sim::MessageSpec> messages, const ReductionContext& red,
+    const SearchLimits& limits) {
+  std::vector<std::uint32_t> comp_of;
+  const std::uint32_t count =
+      route_components(red.routes, alg.net().channel_count(), comp_of);
+  if (count < 2) return std::nullopt;
+
+  const auto start = std::chrono::steady_clock::now();
+  DeadlockSearchResult total;
+  total.profile.branch_factor =
+      obs::Histogram(obs::Histogram::exponential_bounds(1, 4096));
+  for (std::uint32_t c = 0; c < count; ++c) {
+    std::vector<sim::MessageSpec> sub;
+    std::vector<std::uint32_t> to_orig;
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+      if (comp_of[m] != c) continue;
+      sub.push_back(messages[m]);
+      to_orig.push_back(static_cast<std::uint32_t>(m));
+    }
+    // Each component gets the full limits (max_states is per sub-search).
+    // The recursive call re-traces routes and finds a single component, so
+    // it drops straight into the plain engine.
+    const DeadlockSearchResult part =
+        find_deadlock(alg, sub, AdversaryModel::kSynchronous, limits);
+    total.states_explored += part.states_explored;
+    total.profile.merge_from(part.profile);
+    if (!part.exhausted) total.exhausted = false;
+    if (part.deadlock_found) {
+      finish_decomposed_witness(total, alg, messages, limits, part, to_orig);
+      break;
+    }
+  }
+  const double secs = std::max(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count(),
+      1e-9);
+  total.profile.elapsed_seconds = secs;
+  total.profile.states_per_second =
+      static_cast<double>(total.states_explored) / secs;
+  return total;
 }
 
 }  // namespace
@@ -668,12 +1049,35 @@ DeadlockSearchResult find_deadlock(const routing::RoutingAlgorithm& alg,
                                    AdversaryModel model,
                                    const SearchLimits& limits) {
   check_specs(messages);
+  ReductionContext red;
+  red.mode = limits.reduction;
+  if (red.mode != ReductionMode::kOff) {
+    red.specs.assign(messages.begin(), messages.end());
+    red.have_routes = true;
+    red.routes.reserve(messages.size());
+    for (const sim::MessageSpec& spec : messages) {
+      auto route = routing::trace_path(alg, spec.src, spec.dst);
+      if (!route) {
+        // Untraceable route (e.g. a livelocking table): no shrinking
+        // active-suffix structure, so fall back to twin symmetry alone.
+        red.have_routes = false;
+        red.routes.clear();
+        break;
+      }
+      red.routes.push_back(std::move(*route));
+    }
+    if (red.have_routes && model == AdversaryModel::kSynchronous &&
+        messages.size() >= 2) {
+      if (auto result = decomposed_find_deadlock(alg, messages, red, limits))
+        return *std::move(result);
+    }
+  }
   sim::SimConfig config;
   config.buffer_depth = limits.buffer_depth;
   sim::WormholeSimulator root(alg, config);
   for (const sim::MessageSpec& spec : messages) root.add_message(spec);
   return search_core(std::move(root), messages.size(), alg.net(), model,
-                     limits);
+                     limits, red);
 }
 
 DeadlockSearchResult find_deadlock(const routing::AdaptiveRouting& alg,
@@ -681,12 +1085,16 @@ DeadlockSearchResult find_deadlock(const routing::AdaptiveRouting& alg,
                                    AdversaryModel model,
                                    const SearchLimits& limits) {
   check_specs(messages);
+  ReductionContext red;
+  red.mode = limits.reduction;
+  if (red.mode != ReductionMode::kOff)
+    red.specs.assign(messages.begin(), messages.end());
   sim::SimConfig config;
   config.buffer_depth = limits.buffer_depth;
   sim::WormholeSimulator root(alg, config);
   for (const sim::MessageSpec& spec : messages) root.add_message(spec);
   return search_core(std::move(root), messages.size(), alg.net(), model,
-                     limits);
+                     limits, red);
 }
 
 std::optional<std::uint32_t> minimal_deadlock_delay(

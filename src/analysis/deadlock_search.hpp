@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "analysis/configuration.hpp"
+#include "analysis/reduction.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -82,6 +83,12 @@ struct SearchLimits {
   /// the serial search; states_explored/profile counters may vary slightly
   /// run-to-run because workers race to memoize shared states.
   unsigned threads = 1;
+  /// Partial-order / symmetry reduction (see reduction.hpp and DESIGN.md
+  /// §12). kOff reproduces the historical exhaustive enumeration bit for
+  /// bit. kSafe/kOn preserve verdicts and witnesses-by-replay but visit
+  /// fewer states, so states_explored and the profile counters differ
+  /// between modes.
+  ReductionMode reduction = ReductionMode::kOff;
 };
 
 /// Where the search spent its effort. memo_misses counts unique states
@@ -102,6 +109,10 @@ struct SearchProfile {
   std::uint64_t branch_truncations = 0;
   /// Child transitions discarded because they exceeded the delay budget.
   std::uint64_t budget_prunes = 0;
+  /// Wall-clock figures, stamped once per search. elapsed_seconds is
+  /// clamped to >= 1e-9 so sub-millisecond searches (tiny fixtures, warm
+  /// caches) never quantize to 0 and states_per_second stays finite and
+  /// nonzero whenever states were explored.
   double elapsed_seconds = 0;
   double states_per_second = 0;
 

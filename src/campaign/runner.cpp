@@ -180,8 +180,12 @@ Evaluation evaluate_impl(const Scenario& scenario, const EvalOptions& options,
   eval.classification = classify(scenario, live);
 
   analysis::SearchLimits limits = options.limits;
-  limits.threads = 1;  // determinism; parallelism lives at the shard level
   limits.build_witness = false;
+  // In cross-check mode the RECORDED arm always runs unreduced, so the
+  // JSONL and cache bytes match a plain reduction-off campaign exactly;
+  // the requested mode is what the shadow arm below re-runs with.
+  if (options.cross_check_reduction)
+    limits.reduction = analysis::ReductionMode::kOff;
 
   const bool in_scope =
       eval.classification.prediction != Prediction::kOutOfScope;
@@ -206,20 +210,40 @@ Evaluation evaluate_impl(const Scenario& scenario, const EvalOptions& options,
       }
     }
   }
+  const auto ground_truth = [&](Evaluation& into,
+                                const analysis::SearchLimits& with) {
+    if (scenario.kind == ScenarioKind::kFamily)
+      return family_ground_truth(into, *live.family, with);
+    if (eval.classification.cdg_cyclic)
+      return cyclic_ground_truth(into, live, options, with);
+    return acyclic_ground_truth(into, scenario, live, options, with);
+  };
   if (!cached) {
     if (counters != nullptr)
       counters->misses.fetch_add(1, std::memory_order_relaxed);
-    if (scenario.kind == ScenarioKind::kFamily) {
-      eval.outcome = family_ground_truth(eval, *live.family, limits);
-    } else if (eval.classification.cdg_cyclic) {
-      eval.outcome = cyclic_ground_truth(eval, live, options, limits);
-    } else {
-      eval.outcome =
-          acyclic_ground_truth(eval, scenario, live, options, limits);
-    }
+    eval.outcome = ground_truth(eval, limits);
     if (cache != nullptr)
       cache->insert(key, TruthRecord{eval.outcome, eval.states,
                                      /*from_disk=*/false});
+    if (options.cross_check_reduction) {
+      // Shadow arm: same probes, reduction on. Runs into a scratch
+      // Evaluation so the recorded states/profile stay those of the
+      // unreduced arm. Only conflicting DEFINITE outcomes diverge.
+      analysis::SearchLimits reduced = limits;
+      reduced.reduction =
+          options.limits.reduction != analysis::ReductionMode::kOff
+              ? options.limits.reduction
+              : analysis::ReductionMode::kOn;
+      Evaluation shadow;
+      shadow.classification = eval.classification;
+      const SearchOutcome other = ground_truth(shadow, reduced);
+      const auto definite = [](SearchOutcome o) {
+        return o == SearchOutcome::kDeadlock ||
+               o == SearchOutcome::kNoDeadlock;
+      };
+      eval.reduction_divergence =
+          definite(eval.outcome) && definite(other) && other != eval.outcome;
+    }
   }
 
   if (!in_scope) {
@@ -305,6 +329,7 @@ obs::RunReport CampaignResult::report(const CampaignConfig& config) const {
   r.labels["truth_cache"] = config.cache_file.empty()
                                 ? "off"
                                 : (truth_disk_hits > 0 ? "warm" : "cold");
+  r.labels["reduction"] = analysis::to_string(config.eval.limits.reduction);
   r.values["count"] = static_cast<double>(records.size());
   r.values["agree"] = static_cast<double>(agree);
   r.values["disagree"] = static_cast<double>(disagree);
@@ -318,6 +343,9 @@ obs::RunReport CampaignResult::report(const CampaignConfig& config) const {
   r.values["truth_cache.misses"] = static_cast<double>(truth_misses);
   r.values["truth_cache.loaded"] = static_cast<double>(truth_loaded);
   r.values["truth_cache.stored"] = static_cast<double>(truth_stored);
+  if (config.eval.cross_check_reduction)
+    r.values["reduction_divergences"] =
+        static_cast<double>(reduction_divergences);
   const std::uint64_t lookups = truth_disk_hits + truth_memo_hits + truth_misses;
   r.values["truth_cache.disk_hit_rate"] =
       lookups > 0 ? static_cast<double>(truth_disk_hits) /
@@ -359,12 +387,24 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   std::vector<analysis::SearchProfile> profiles(
       config.collect_profile ? slice : 0);
 
-  TruthStore cache(truth_fingerprint(config.eval.limits,
-                                     config.eval.max_cycles_probed,
-                                     config.eval.acyclic_probe_messages));
+  // Parallelism lives at the shard level: recorded states_explored must be
+  // deterministic, so every ground-truth search is single-threaded no
+  // matter what the caller put in eval.limits.threads.
+  EvalOptions eval_opts = config.eval;
+  eval_opts.limits.threads = 1;
+  // The fingerprint digests the limits of the RECORDED searches: in
+  // cross-check mode those run with reduction off (see evaluate_impl), so
+  // the cache stays interchangeable with a plain reduction-off campaign's.
+  analysis::SearchLimits recorded_limits = eval_opts.limits;
+  if (eval_opts.cross_check_reduction)
+    recorded_limits.reduction = analysis::ReductionMode::kOff;
+  TruthStore cache(truth_fingerprint(recorded_limits,
+                                     eval_opts.max_cycles_probed,
+                                     eval_opts.acyclic_probe_messages));
   if (!config.cache_file.empty())
     result.truth_loaded = cache.load(config.cache_file).records;
   CacheCounters counters;
+  std::atomic<std::uint64_t> divergences{0};
 
   std::atomic<std::uint64_t> next{result.first_index};
   const auto worker = [&] {
@@ -373,7 +413,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       if (i >= result.end_index) return;
       const Scenario scenario = generator.generate(i);
       const Evaluation eval =
-          evaluate_impl(scenario, config.eval, &cache, &counters);
+          evaluate_impl(scenario, eval_opts, &cache, &counters);
+      if (eval.reduction_divergence)
+        divergences.fetch_add(1, std::memory_order_relaxed);
       ScenarioRecord& record = result.records[i - result.first_index];
       record.index = i;
       record.seed = scenario.seed;
@@ -425,7 +467,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       const auto still_disagrees = [&](const Scenario& candidate) {
         // No counters: shrink probes are diagnostics, not campaign lookups.
         const Evaluation eval =
-            evaluate_impl(candidate, config.eval, &cache, /*counters=*/nullptr);
+            evaluate_impl(candidate, eval_opts, &cache, /*counters=*/nullptr);
         return eval.verdict == Verdict::kDisagree &&
                eval.classification.rule == rule;
       };
@@ -453,6 +495,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.truth_disk_hits = counters.disk_hits.load();
   result.truth_memo_hits = counters.memo_hits.load();
   result.truth_misses = counters.misses.load();
+  result.reduction_divergences = divergences.load();
   if (!config.cache_file.empty()) {
     result.truth_stored = cache.size();
     result.cache_saved = cache.save(config.cache_file);

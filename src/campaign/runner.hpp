@@ -45,8 +45,12 @@ namespace wormsim::campaign {
 enum class Verdict : std::uint8_t { kAgree, kDisagree, kSkip };
 
 struct EvalOptions {
-  /// Per-scenario search limits. threads is forced to 1 — parallelism
-  /// belongs to the shard level so states_explored stays deterministic.
+  /// Per-scenario search limits. run_campaign forces threads to 1 —
+  /// parallelism belongs to the shard level so recorded states_explored
+  /// stays deterministic; direct evaluate_scenario / replay_scenario
+  /// callers get whatever they set. limits.reduction is honored and (when
+  /// not kOff) folded into the truth-cache fingerprint, because reduced
+  /// searches record different states counts.
   analysis::SearchLimits limits;
   /// Random-algorithm scenarios: elementary cycles examined for a probe
   /// before declaring a witness gap.
@@ -56,6 +60,15 @@ struct EvalOptions {
   /// Also run the search on out-of-scope scenarios (informational; the
   /// verdict stays kSkip). Off by default — it is where the CPU time goes.
   bool probe_out_of_scope = false;
+  /// Mechanical soundness check for the reduction layer: every ground-truth
+  /// search runs twice on a cache miss — once with reduction off (that run
+  /// is what gets recorded and cached, so JSONL/cache bytes are identical
+  /// to a plain reduction-off campaign) and once reduced (limits.reduction,
+  /// or kOn when limits leave it off). A divergence is two CONFLICTING
+  /// definite outcomes (deadlock vs no-deadlock); inconclusive-vs-definite
+  /// is not one, since the reduced search legitimately decides instances
+  /// the unreduced budget cannot.
+  bool cross_check_reduction = false;
 };
 
 /// Everything the campaign learned about one scenario.
@@ -68,6 +81,9 @@ struct Evaluation {
   std::string skip_reason;
   std::uint64_t states = 0;  ///< states explored across all probes
   analysis::SearchProfile profile;  ///< merged over this scenario's searches
+  /// cross_check_reduction only: the reduced re-run contradicted the
+  /// recorded unreduced outcome (a reduction soundness bug).
+  bool reduction_divergence = false;
 };
 
 /// Classifies and cross-checks one scenario. Deterministic.
@@ -145,6 +161,9 @@ struct CampaignResult {
   std::uint64_t truth_loaded = 0;  ///< records accepted from cache_file
   std::uint64_t truth_stored = 0;  ///< records in the saved cache_file
   bool cache_saved = false;        ///< cache_file rewrite succeeded
+  /// Scenarios whose reduced re-run contradicted the unreduced outcome
+  /// (eval.cross_check_reduction only; any nonzero value is a bug).
+  std::uint64_t reduction_divergences = 0;
 
   /// Writes one JSONL line per scenario, in index order.
   void write_jsonl(std::ostream& out) const;

@@ -135,6 +135,13 @@ std::uint64_t truth_fingerprint(const analysis::SearchLimits& limits,
      << ";max_branches=" << limits.max_branches_per_state
      << ";cycles_probed=" << max_cycles_probed
      << ";acyclic_messages=" << acyclic_probe_messages;
+  // Only knobs that change what a record CONTAINS are folded in. Reduction
+  // keeps the verdict but changes the recorded states count, so a non-off
+  // mode gets its own cache namespace; kOff appends nothing, keeping every
+  // pre-reduction cache file warm. threads is never folded: the campaign
+  // forces single-threaded searches, so it cannot affect records at all.
+  if (limits.reduction != analysis::ReductionMode::kOff)
+    os << ";reduction=" << analysis::to_string(limits.reduction);
   return fnv1a(os.str());
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <unordered_map>
 
@@ -56,6 +57,7 @@ MessageId WormholeSimulator::add_message(MessageSpec spec) {
   MessageState state;
   state.spec = std::move(spec);
   messages_.push_back(std::move(state));
+  key_valid_ = false;  // the key gains a segment; rebuild lazily
   return id;
 }
 
@@ -148,7 +150,7 @@ bool WormholeSimulator::compute_requests() {
   }
 
   requests_.v.clear();
-  std::vector<ChannelId> wants;
+  std::vector<ChannelId>& wants = wants_scratch_;
   for (std::size_t i = 0; i < messages_.size(); ++i) {
     MessageState& m = messages_[i];
     if (m.status == MessageStatus::kDelivered ||
@@ -225,16 +227,18 @@ bool WormholeSimulator::step() {
   return progress;
 }
 
-std::vector<MessageRequests> WormholeSimulator::peek_requests() const {
+void WormholeSimulator::peek_requests_into(
+    std::vector<MessageRequests>& out) const {
   // Replicates the request derivation of the NEXT compute_requests() cycle
   // without mutating the simulator (earlier versions probed by copying the
   // whole simulator, which dominated the deadlock search's per-state cost).
   // Must stay in lockstep with compute_requests: same release gating (the
   // probed cycle is cycle_ + 1), same stall decision (tick_stall stalls
   // while the pending remaining count is nonzero), same free-channel filter.
-  std::vector<MessageRequests> result;
-  result.reserve(messages_.size());
-  std::vector<ChannelId> wants;
+  // `out` entries past `filled` are leftovers from the caller's previous
+  // state; their channel capacity is reused in place.
+  std::size_t filled = 0;
+  std::vector<ChannelId>& wants = wants_scratch_;
   for (std::size_t i = 0; i < messages_.size(); ++i) {
     const MessageState& m = messages_[i];
     if (m.status == MessageStatus::kDelivered ||
@@ -252,16 +256,25 @@ std::vector<MessageRequests> WormholeSimulator::peek_requests() const {
                               ? m.spec.hop_stalls[hop]
                               : 0u);
     if (stall_remaining > 0) continue;  // adversarial stall would tick
-    MessageRequests entry;
+    if (filled == out.size()) out.emplace_back();
+    MessageRequests& entry = out[filled];
     entry.message = MessageId{i};
     entry.moving = m.status == MessageStatus::kMoving;
+    entry.channels.clear();
     for (const ChannelId want : wants)
       if (!channels_[want.index()].owner.valid())
         entry.channels.push_back(want);
     if (entry.channels.empty()) continue;  // all candidates busy
     std::sort(entry.channels.begin(), entry.channels.end());
-    result.push_back(std::move(entry));
+    ++filled;
   }
+  out.resize(filled);
+}
+
+std::vector<MessageRequests> WormholeSimulator::peek_requests() const {
+  std::vector<MessageRequests> result;
+  result.reserve(messages_.size());
+  peek_requests_into(result);
   return result;
 }
 
@@ -292,6 +305,35 @@ bool WormholeSimulator::step_with_grants(
   return progress;
 }
 
+bool WormholeSimulator::step_with_grants_trusted(
+    std::span<const std::pair<ChannelId, MessageId>> grants) {
+  // Fast-path cycle for the deadlock search (header contract). Relative to
+  // the checked step this skips compute_requests entirely: with
+  // release_time == 0 and no hop stalls — asserted below — the checked
+  // step's extra progress sources (pending release gating, stall ticking)
+  // can never fire, and the remaining compute_requests work (request list,
+  // waiting flags, busy-cycle counters) feeds only policy arbitration and
+  // metrics, neither of which the search reads. What must still happen per
+  // cycle: the clock advance (delivery stats) and the per-channel
+  // transmitted reset that gates one flit per channel in execute_moves.
+#ifndef NDEBUG
+  for (const MessageState& m : messages_) {
+    WORMSIM_ASSERT(m.spec.release_time == 0);
+    WORMSIM_ASSERT(m.spec.hop_stalls.empty());
+  }
+#endif
+  ++cycle_;
+  for (ChannelState& ch : channels_) ch.transmitted = false;
+  granted_scratch_.assign(messages_.size(), ChannelId::invalid());
+  for (const auto& [channel, winner] : grants) {
+    WORMSIM_ASSERT(!granted_scratch_[winner.index()].valid());
+    granted_scratch_[winner.index()] = channel;
+  }
+  const bool progress = execute_moves(granted_scratch_);
+  if (config_.check_invariants) check_invariants();
+  return progress;
+}
+
 bool WormholeSimulator::all_consumed() const {
   return std::all_of(messages_.begin(), messages_.end(),
                      [](const MessageState& m) {
@@ -305,36 +347,141 @@ std::string WormholeSimulator::state_key() const {
   return key;
 }
 
+namespace {
+/// Little-endian-as-stored raw u32 write; state keys are process-local so
+/// native byte order is fine.
+inline void put32_at(char*& p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof v);
+  p += sizeof v;
+}
+/// Channel slots are fixed 8-byte records at the front of the key, so a
+/// dirty channel patches in place without shifting anything.
+inline void write_key_channel(std::uint32_t owner_plus1, std::uint32_t count,
+                              char* p) {
+  put32_at(p, owner_plus1);
+  put32_at(p, count);
+}
+}  // namespace
+
+std::string_view WormholeSimulator::state_key_view() const {
+  // Hot path of the deadlock search (called once per explored state). The
+  // incremental cache means a step that granted k messages re-serializes
+  // O(k) segments, not the whole state; the synchronous search hashes the
+  // returned view without any copy at all.
+  refresh_state_key();
+#ifndef NDEBUG
+  {
+    std::string fresh;
+    serialize_state_key(fresh);
+    WORMSIM_ASSERT(fresh == key_cache_);
+  }
+#endif
+  return key_cache_;
+}
+
 void WormholeSimulator::append_state_key(std::string& out) const {
-  // Hot path of the deadlock search (called once per explored state):
-  // size the buffer exactly, then write through a raw pointer — per-byte
-  // push_back was a measurable fraction of search time.
+  out.append(state_key_view());
+}
+
+void WormholeSimulator::write_key_segment(const MessageState& m,
+                                          char* p) const {
+  *p++ = static_cast<char>(m.status);
+  put32_at(p, m.flits_injected);
+  put32_at(p, m.flits_consumed);
+  put32_at(p, static_cast<std::uint32_t>(m.released));
+  put32_at(p, static_cast<std::uint32_t>(m.path.size()));
+  for (std::size_t j = m.released; j < m.path.size(); ++j) {
+    put32_at(p, m.path[j].value());
+    put32_at(p, m.exited[j]);
+  }
+}
+
+void WormholeSimulator::serialize_state_key(std::string& out) const {
+  // Size the buffer exactly, then write through a raw pointer — per-byte
+  // push_back was a measurable fraction of search time before the cache.
   const std::size_t base = out.size();
   std::size_t bytes = channels_.size() * 8 + messages_.size() * 17;
   for (const MessageState& m : messages_)
     bytes += (m.path.size() - m.released) * 8;
   out.resize(base + bytes);
   char* p = out.data() + base;
-  const auto put32 = [&p](std::uint32_t v) {
-    std::memcpy(p, &v, sizeof v);  // state keys are process-local
-    p += sizeof v;
-  };
   for (const ChannelState& ch : channels_) {
-    put32(ch.owner.valid() ? ch.owner.value() + 1 : 0);
-    put32(ch.count);
+    write_key_channel(ch.owner.valid() ? ch.owner.value() + 1 : 0, ch.count,
+                      p);
+    p += 8;
   }
   for (const MessageState& m : messages_) {
-    *p++ = static_cast<char>(m.status);
-    put32(m.flits_injected);
-    put32(m.flits_consumed);
-    put32(static_cast<std::uint32_t>(m.released));
-    put32(static_cast<std::uint32_t>(m.path.size()));
-    for (std::size_t j = m.released; j < m.path.size(); ++j) {
-      put32(m.path[j].value());
-      put32(m.exited[j]);
-    }
+    const std::size_t len = 17 + (m.path.size() - m.released) * 8;
+    write_key_segment(m, p);
+    p += len;
   }
   WORMSIM_ASSERT(p == out.data() + out.size());
+}
+
+void WormholeSimulator::append_key_segment(std::size_t i) const {
+  const MessageState& m = messages_[i];
+  const std::size_t len = 17 + (m.path.size() - m.released) * 8;
+  const std::size_t off = key_cache_.size();
+  key_cache_.resize(off + len);
+  write_key_segment(m, key_cache_.data() + off);
+  key_msg_off_.push_back(static_cast<std::uint32_t>(off));
+  key_msg_len_.push_back(static_cast<std::uint32_t>(len));
+}
+
+void WormholeSimulator::refresh_state_key() const {
+  if (!key_valid_) {
+    key_cache_.clear();
+    key_msg_off_.clear();
+    key_msg_len_.clear();
+    key_cache_.resize(channels_.size() * 8);
+    char* p = key_cache_.data();
+    for (const ChannelState& ch : channels_) {
+      write_key_channel(ch.owner.valid() ? ch.owner.value() + 1 : 0, ch.count,
+                        p);
+      p += 8;
+    }
+    key_msg_off_.reserve(messages_.size());
+    key_msg_len_.reserve(messages_.size());
+    for (std::size_t i = 0; i < messages_.size(); ++i) append_key_segment(i);
+    key_channel_flag_.assign(channels_.size(), 0);
+    key_message_flag_.assign(messages_.size(), 0);
+    key_dirty_channels_.clear();
+    key_dirty_messages_.clear();
+    key_valid_ = true;
+    return;
+  }
+
+  for (const std::uint32_t c : key_dirty_channels_) {
+    const ChannelState& ch = channels_[c];
+    write_key_channel(ch.owner.valid() ? ch.owner.value() + 1 : 0, ch.count,
+                      key_cache_.data() + std::size_t{c} * 8);
+    key_channel_flag_[c] = 0;
+  }
+  key_dirty_channels_.clear();
+  if (key_dirty_messages_.empty()) return;
+
+  // Segments whose length is unchanged (data shifts, consumption counters)
+  // patch in place; a length change (released advanced, path grew) shifts
+  // every later segment, so the tail rebuilds from the first such segment.
+  std::uint32_t first_resized = std::numeric_limits<std::uint32_t>::max();
+  for (const std::uint32_t i : key_dirty_messages_) {
+    const MessageState& m = messages_[i];
+    const auto len =
+        static_cast<std::uint32_t>(17 + (m.path.size() - m.released) * 8);
+    if (len != key_msg_len_[i]) first_resized = std::min(first_resized, i);
+  }
+  for (const std::uint32_t i : key_dirty_messages_) {
+    key_message_flag_[i] = 0;
+    if (i >= first_resized) continue;  // rebuilt below
+    write_key_segment(messages_[i], key_cache_.data() + key_msg_off_[i]);
+  }
+  key_dirty_messages_.clear();
+  if (first_resized == std::numeric_limits<std::uint32_t>::max()) return;
+  key_cache_.resize(key_msg_off_[first_resized]);
+  key_msg_off_.resize(first_resized);
+  key_msg_len_.resize(first_resized);
+  for (std::size_t i = first_resized; i < messages_.size(); ++i)
+    append_key_segment(i);
 }
 
 bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
@@ -343,6 +490,11 @@ bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
     MessageState& m = messages_[i];
     const MessageId id{i};
     if (m.status == MessageStatus::kConsumed) continue;
+    // For the incremental state key: every key-relevant mutation below
+    // happens to message i or to a channel in path[old_released, size()),
+    // so one touch sweep at the end of the block covers them all.
+    const std::size_t old_released = m.released;
+    bool moved = false;
 
     // Front operation: consume at destination, advance header, or inject.
     if (m.status == MessageStatus::kMoving) {
@@ -376,7 +528,7 @@ bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
             trace_event(make_event(obs::TraceEventKind::kConsumed, id,
                                    ChannelId::invalid()));
         }
-        progress = true;
+        moved = true;
       } else if (granted[i].valid()) {
         const ChannelId next = granted[i];
         ChannelState& prev = channels_[m.path.back().index()];
@@ -388,7 +540,7 @@ bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
         if (tracing())
           trace_event(
               make_event(obs::TraceEventKind::kHeaderAdvance, id, next));
-        progress = true;
+        moved = true;
       }
     } else if (m.status == MessageStatus::kPending && granted[i].valid()) {
       const ChannelId first = granted[i];
@@ -399,14 +551,14 @@ bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
       if (instruments_.registry != nullptr) instruments_.injected->inc();
       if (tracing())
         trace_event(make_event(obs::TraceEventKind::kInject, id, first));
-      progress = true;
+      moved = true;
     } else if (m.status == MessageStatus::kDelivered) {
       ChannelState& ch = channels_[m.path.back().index()];
       if (ch.count > 0) {
         --ch.count;
         ++m.flits_consumed;
         note_exit(id, m, m.path.size() - 1);
-        progress = true;
+        moved = true;
         if (m.flits_consumed == m.spec.length) {
           m.status = MessageStatus::kConsumed;
           m.stats.consume_cycle = cycle_;
@@ -433,7 +585,7 @@ bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
         to.transmitted = true;
         note_exit(id, m, j - 1);
         ++flits_moved_;
-        progress = true;
+        moved = true;
       }
     }
 
@@ -446,8 +598,17 @@ bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
         first.transmitted = true;
         ++m.flits_injected;
         ++flits_moved_;
-        progress = true;
+        moved = true;
       }
+    }
+
+    if (moved) {
+      progress = true;
+      touch_message(i);
+      // Channel slots that can have changed: the active suffix as of the
+      // start of this block (releases this cycle start at old_released).
+      for (std::size_t j = old_released; j < m.path.size(); ++j)
+        touch_channel(m.path[j]);
     }
   }
   return progress;
@@ -489,6 +650,11 @@ const MessageStats& WormholeSimulator::stats(MessageId m) const {
 MessageStatus WormholeSimulator::status(MessageId m) const {
   WORMSIM_EXPECTS(m.valid() && m.index() < messages_.size());
   return messages_[m.index()].status;
+}
+
+std::size_t WormholeSimulator::released_count(MessageId m) const {
+  WORMSIM_EXPECTS(m.valid() && m.index() < messages_.size());
+  return messages_[m.index()].released;
 }
 
 const MessageSpec& WormholeSimulator::spec(MessageId m) const {

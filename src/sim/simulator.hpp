@@ -35,6 +35,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -134,11 +135,30 @@ class WormholeSimulator {
   /// Non-mutating (works on an internal copy).
   [[nodiscard]] std::vector<MessageRequests> peek_requests() const;
 
+  /// peek_requests() into a caller-owned buffer: `out` is overwritten (its
+  /// entries — and their channel vectors — are reused in place, so a search
+  /// that recycles the buffer across states stops allocating once warm).
+  void peek_requests_into(std::vector<MessageRequests>& out) const;
+
   /// Advances one cycle with an explicit grant assignment instead of the
   /// policy: `grants` maps channel -> winning message, and every entry must
   /// correspond to an actual request this cycle. Channels absent from the
   /// map are granted to nobody. Returns true if any state changed.
   bool step_with_grants(
+      std::span<const std::pair<ChannelId, MessageId>> grants);
+
+  /// step_with_grants() for callers whose grants are legal by construction
+  /// — the deadlock search, whose assignment generator only emits grant
+  /// tuples drawn from peek_requests(). Skips the per-cycle request
+  /// re-derivation, grant validation, and arbitration bookkeeping (waiting
+  /// flags, busy-cycle counters, the request list), none of which affect
+  /// the state key or future transitions. Requires release_time == 0 and
+  /// empty hop_stalls on every message (the search's scenario contract;
+  /// asserted in debug builds) — under that contract the return value and
+  /// the resulting state are identical to the checked step. Witness
+  /// replays keep using the checked step_with_grants, so every reported
+  /// deadlock is still revalidated grant by grant.
+  bool step_with_grants_trusted(
       std::span<const std::pair<ChannelId, MessageId>> grants);
 
   /// True when every message has been fully consumed.
@@ -158,6 +178,12 @@ class WormholeSimulator {
   /// e.g. the spent-delay vector), avoiding a heap string per lookup.
   void append_state_key(std::string& out) const;
 
+  /// A view of the key bytes inside the simulator's own cache, valid until
+  /// the next mutation or copy of this simulator. The synchronous search
+  /// hashes this view directly instead of copying the key into a scratch
+  /// buffer first — the copy was a measurable slice of per-state memo cost.
+  [[nodiscard]] std::string_view state_key_view() const;
+
   /// Runs until completion, deadlock, or the cycle limit.
   RunResult run();
 
@@ -166,6 +192,12 @@ class WormholeSimulator {
   [[nodiscard]] const MessageStats& stats(MessageId m) const;
   [[nodiscard]] MessageStatus status(MessageId m) const;
   [[nodiscard]] const MessageSpec& spec(MessageId m) const;
+
+  /// Channels `m` has released so far (the acquired-path prefix already
+  /// drained behind the worm). With an oblivious route this is also the
+  /// route index of the first channel the message may still hold or want —
+  /// the reduction layer's "active suffix" (analysis/reduction.hpp).
+  [[nodiscard]] std::size_t released_count(MessageId m) const;
 
   /// Channels currently acquired (not yet released) by `m`, upstream first.
   [[nodiscard]] std::vector<ChannelId> held_channels(MessageId m) const;
@@ -266,6 +298,34 @@ class WormholeSimulator {
   void acquire(MessageId id, MessageState& m, ChannelId c);
   void note_exit(MessageId id, MessageState& m, std::size_t path_index);
 
+  /// Serializes the full state key from scratch (the layout described at
+  /// append_state_key), appending to `out`. Cold path: the incremental
+  /// cache below makes this a once-per-simulator cost.
+  void serialize_state_key(std::string& out) const;
+  /// Writes message `m`'s key segment (status byte, progress counters,
+  /// active path suffix) at `p`; the caller sized the destination.
+  void write_key_segment(const MessageState& m, char* p) const;
+  /// Appends message `i`'s key segment to key_cache_, recording its
+  /// offset/length in the cache index.
+  void append_key_segment(std::size_t i) const;
+  /// Brings key_cache_ up to date: full rebuild when invalid, else patch
+  /// the dirty channel slots and message segments in place (segments whose
+  /// length changed rebuild the cache tail from the first such segment).
+  void refresh_state_key() const;
+  /// Marks key-relevant state of channel `c` / message `i` as changed.
+  /// No-ops until the first key build: simulators that never serialize
+  /// (plain workload runs) pay one predictable branch per call.
+  void touch_channel(ChannelId c) {
+    if (!key_valid_ || key_channel_flag_[c.index()]) return;
+    key_channel_flag_[c.index()] = 1;
+    key_dirty_channels_.push_back(static_cast<std::uint32_t>(c.index()));
+  }
+  void touch_message(std::size_t i) {
+    if (!key_valid_ || key_message_flag_[i]) return;
+    key_message_flag_[i] = 1;
+    key_dirty_messages_.push_back(static_cast<std::uint32_t>(i));
+  }
+
   /// True when any trace consumer is active — the single guard every event
   /// site checks before constructing a TraceEvent. A cached member bool so
   /// the all-off fast path is one predictable branch even in congested
@@ -302,6 +362,29 @@ class WormholeSimulator {
   std::vector<MessageState> messages_;
   std::vector<ChannelState> channels_;
   std::uint64_t flits_moved_ = 0;
+
+  /// Per-cycle scratch buffers (desired-channel probe; the trusted step's
+  /// message -> granted-channel table). Contents are transient; the members
+  /// exist so the request/step hot loops reuse capacity instead of
+  /// allocating per cycle. wants_scratch_ is mutable for peek_requests.
+  mutable std::vector<ChannelId> wants_scratch_;
+  std::vector<ChannelId> granted_scratch_;
+
+  /// Incremental state-key cache. key_cache_ holds the current serialized
+  /// key; after the first build, execute_moves records which channels and
+  /// messages it touched and refresh_state_key() patches only those spans —
+  /// a grant cycle touches O(granted messages) bytes, not O(state). The
+  /// cache copies with the simulator, so a forked child inherits the
+  /// parent's key and patches only its own step's deltas. All mutable:
+  /// append_state_key is morally const. add_message invalidates.
+  mutable std::string key_cache_;
+  mutable std::vector<std::uint32_t> key_msg_off_;  ///< segment offsets
+  mutable std::vector<std::uint32_t> key_msg_len_;  ///< segment lengths
+  mutable std::vector<std::uint32_t> key_dirty_channels_;
+  mutable std::vector<std::uint32_t> key_dirty_messages_;
+  mutable std::vector<std::uint8_t> key_channel_flag_;
+  mutable std::vector<std::uint8_t> key_message_flag_;
+  mutable bool key_valid_ = false;
   EventHook hook_;
   obs::TraceSink* trace_sink_ = nullptr;
   /// Probe copies (peek_requests) set this so speculative cycles emit

@@ -1,6 +1,8 @@
 // Profiling and witness-gating behaviour of the reachability search.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "analysis/deadlock_search.hpp"
 #include "core/cyclic_family.hpp"
 #include "routing/node_table.hpp"
@@ -59,6 +61,21 @@ TEST_F(ProfiledRingTest, BranchHistogramCoversExpandedStates) {
   EXPECT_GE(result.profile.branch_factor.max(), 1);
   EXPECT_GT(result.profile.peak_depth, 1u);
   EXPECT_GE(result.profile.elapsed_seconds, 0.0);
+}
+
+TEST_F(ProfiledRingTest, TimingNeverQuantizesToZero) {
+  // Tiny searches finish in well under a clock millisecond; the profile
+  // clamps elapsed time so states_per_second stays finite and nonzero
+  // instead of collapsing to 0 (or dividing by 0) on fast hosts.
+  std::vector<sim::MessageSpec> specs;
+  specs.push_back({NodeId{0}, NodeId{1}, 1, 0, {}});
+  const auto result = find_deadlock(*table_, specs,
+                                    AdversaryModel::kSynchronous, {});
+  ASSERT_TRUE(result.exhausted);
+  ASSERT_GT(result.states_explored, 0u);
+  EXPECT_GE(result.profile.elapsed_seconds, 1e-9);
+  EXPECT_GT(result.profile.states_per_second, 0.0);
+  EXPECT_TRUE(std::isfinite(result.profile.states_per_second));
 }
 
 TEST_F(ProfiledRingTest, RingDeadlockFoundOnFirstPathReportsZeroHits) {

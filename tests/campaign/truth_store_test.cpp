@@ -253,6 +253,32 @@ TEST(TruthStore, FingerprintTracksSearchKnobs) {
   EXPECT_EQ(truth_fingerprint(cosmetic, 8, 4), base);
 }
 
+TEST(TruthStore, FingerprintFoldsReductionOnlyWhenEnabled) {
+  // Reduction keeps verdicts but changes recorded states counts, so non-off
+  // modes need their own cache namespace — while kOff must keep the exact
+  // legacy digest so pre-reduction cache files stay warm.
+  analysis::SearchLimits limits;
+  const std::uint64_t base = truth_fingerprint(limits, 8, 4);
+
+  analysis::SearchLimits off = limits;
+  off.reduction = analysis::ReductionMode::kOff;
+  EXPECT_EQ(truth_fingerprint(off, 8, 4), base);
+
+  analysis::SearchLimits safe = limits;
+  safe.reduction = analysis::ReductionMode::kSafe;
+  analysis::SearchLimits on = limits;
+  on.reduction = analysis::ReductionMode::kOn;
+  EXPECT_NE(truth_fingerprint(safe, 8, 4), base);
+  EXPECT_NE(truth_fingerprint(on, 8, 4), base);
+  EXPECT_NE(truth_fingerprint(safe, 8, 4), truth_fingerprint(on, 8, 4));
+
+  // threads stays verdict-neutral regardless of the reduction mode.
+  analysis::SearchLimits safe_threads = safe;
+  safe_threads.threads = 9;
+  EXPECT_EQ(truth_fingerprint(safe_threads, 8, 4),
+            truth_fingerprint(safe, 8, 4));
+}
+
 TEST(TruthStore, OutcomeStringsRoundTrip) {
   for (const SearchOutcome o :
        {SearchOutcome::kNotRun, SearchOutcome::kDeadlock,

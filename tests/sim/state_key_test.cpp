@@ -1,0 +1,182 @@
+// The incremental state-key cache must be invisible: a simulator stepped
+// through an arbitrary grant history serializes exactly the same key bytes
+// as a fresh simulator replaying that history (whose first key call takes
+// the from-scratch path). Divergence here means the dirty-span tracking in
+// execute_moves missed a key-relevant mutation.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cyclic_family.hpp"
+#include "core/paper_networks.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace wormsim::sim {
+namespace {
+
+/// Deterministic driver: grant every request its first free candidate,
+/// first-come-first-served within the cycle. Exercises injection, header
+/// advance, data shifts, delivery, and consumption.
+std::vector<std::pair<ChannelId, MessageId>> greedy_grants(
+    const WormholeSimulator& sim) {
+  std::vector<std::pair<ChannelId, MessageId>> grants;
+  std::vector<std::uint8_t> taken(sim.net().channel_count(), 0);
+  for (const MessageRequests& req : sim.peek_requests()) {
+    for (const ChannelId c : req.channels) {
+      if (taken[c.index()]) continue;
+      taken[c.index()] = 1;
+      grants.emplace_back(c, req.message);
+      break;
+    }
+  }
+  return grants;
+}
+
+/// Replays `history` (per-cycle grant lists, with message additions at the
+/// recorded cycles) on a fresh simulator and returns its key — built from
+/// scratch, since the fresh simulator never serialized before.
+std::string replay_key(const routing::RoutingAlgorithm& alg, SimConfig config,
+                       const std::vector<MessageSpec>& initial,
+                       const std::vector<std::pair<std::size_t, MessageSpec>>&
+                           late_messages,
+                       std::span<const std::vector<
+                           std::pair<ChannelId, MessageId>>> history) {
+  WormholeSimulator fresh(alg, config);
+  for (const MessageSpec& spec : initial) fresh.add_message(spec);
+  for (std::size_t cycle = 0; cycle < history.size(); ++cycle) {
+    for (const auto& [at, spec] : late_messages)
+      if (at == cycle) fresh.add_message(spec);
+    fresh.step_with_grants(history[cycle]);
+  }
+  return fresh.state_key();
+}
+
+TEST(StateKeyCache, SteppedKeyMatchesFreshReplayEveryCycle) {
+  const core::CyclicFamily family(core::fig1_spec());
+  const auto specs = family.message_specs();
+  SimConfig config;
+  config.buffer_depth = 1;
+
+  WormholeSimulator sim(family.algorithm(), config);
+  for (const MessageSpec& spec : specs) sim.add_message(spec);
+
+  std::vector<std::vector<std::pair<ChannelId, MessageId>>> history;
+  for (int cycle = 0; cycle < 40 && !sim.all_consumed(); ++cycle) {
+    // Serialize BEFORE stepping too, so the incremental path (patch after
+    // prior build) is exercised on every cycle, not just the last.
+    const std::string incremental = sim.state_key();
+    const std::string fresh = replay_key(family.algorithm(), config, specs,
+                                         {}, history);
+    ASSERT_EQ(incremental, fresh) << "cycle " << cycle;
+
+    history.push_back(greedy_grants(sim));
+    sim.step_with_grants(history.back());
+  }
+  EXPECT_EQ(sim.state_key(),
+            replay_key(family.algorithm(), config, specs, {}, history));
+}
+
+TEST(StateKeyCache, IdleCyclesLeaveKeyUnchanged) {
+  const core::CyclicFamily family(core::fig1_spec());
+  SimConfig config;
+  config.buffer_depth = 1;
+  WormholeSimulator sim(family.algorithm(), config);
+  for (const MessageSpec& spec : family.message_specs())
+    sim.add_message(spec);
+
+  const std::string before = sim.state_key();
+  sim.step_with_grants({});  // nobody granted: pending messages stay put
+  EXPECT_EQ(sim.state_key(), before);
+}
+
+TEST(StateKeyCache, AddMessageInvalidatesAfterFirstSerialization) {
+  const core::CyclicFamily family(core::fig1_spec());
+  const auto specs = family.message_specs();
+  SimConfig config;
+  config.buffer_depth = 1;
+
+  WormholeSimulator sim(family.algorithm(), config);
+  std::vector<MessageSpec> initial(specs.begin(), specs.begin() + 1);
+  for (const MessageSpec& spec : initial) sim.add_message(spec);
+
+  std::vector<std::vector<std::pair<ChannelId, MessageId>>> history;
+  std::vector<std::pair<std::size_t, MessageSpec>> late;
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    (void)sim.state_key();  // force the cache live before mutations
+    if (cycle == 3 && specs.size() > 1) {
+      sim.add_message(specs[1]);  // grows the key: must invalidate
+      late.emplace_back(static_cast<std::size_t>(cycle), specs[1]);
+    }
+    history.push_back(greedy_grants(sim));
+    sim.step_with_grants(history.back());
+    ASSERT_EQ(sim.state_key(), replay_key(family.algorithm(), config,
+                                          initial, late, history))
+        << "cycle " << cycle;
+  }
+}
+
+TEST(StateKeyCache, TrustedStepMatchesCheckedStepEveryCycle) {
+  // The deadlock search's forward exploration uses step_with_grants_trusted,
+  // which skips the request re-derivation and arbitration bookkeeping of the
+  // checked step. Under the search's scenario contract (release_time == 0,
+  // no hop stalls) the two steps must be observationally identical: same
+  // progress flag, same key bytes, same requests, every cycle.
+  const core::CyclicFamily family(core::fig1_spec());
+  SimConfig config;
+  config.buffer_depth = 1;
+
+  WormholeSimulator checked(family.algorithm(), config);
+  WormholeSimulator trusted(family.algorithm(), config);
+  for (const MessageSpec& spec : family.message_specs()) {
+    checked.add_message(spec);
+    trusted.add_message(spec);
+  }
+
+  for (int cycle = 0; cycle < 40 && !checked.all_consumed(); ++cycle) {
+    const auto grants = greedy_grants(checked);
+    const bool a = checked.step_with_grants(grants);
+    const bool b = trusted.step_with_grants_trusted(grants);
+    ASSERT_EQ(a, b) << "progress diverged at cycle " << cycle;
+    ASSERT_EQ(checked.state_key(), trusted.state_key())
+        << "state diverged at cycle " << cycle;
+    // Next-cycle requests drive the search's branching; they must agree.
+    const auto ra = checked.peek_requests();
+    const auto rb = trusted.peek_requests();
+    ASSERT_EQ(ra.size(), rb.size()) << "cycle " << cycle;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].message, rb[i].message) << "cycle " << cycle;
+      EXPECT_EQ(ra[i].moving, rb[i].moving) << "cycle " << cycle;
+      EXPECT_EQ(ra[i].channels, rb[i].channels) << "cycle " << cycle;
+    }
+  }
+  EXPECT_TRUE(checked.all_consumed());
+  EXPECT_TRUE(trusted.all_consumed());
+}
+
+TEST(StateKeyCache, CopiedSimulatorKeysStayIndependent) {
+  const core::CyclicFamily family(core::fig1_spec());
+  SimConfig config;
+  config.buffer_depth = 1;
+  WormholeSimulator parent(family.algorithm(), config);
+  for (const MessageSpec& spec : family.message_specs())
+    parent.add_message(spec);
+  (void)parent.state_key();  // cache live, then fork (the search's pattern)
+
+  WormholeSimulator child = parent;
+  child.step_with_grants(greedy_grants(child));
+
+  // Child patched only its own copy; parent still serializes its old state.
+  WormholeSimulator pristine(family.algorithm(), config);
+  for (const MessageSpec& spec : family.message_specs())
+    pristine.add_message(spec);
+  EXPECT_EQ(parent.state_key(), pristine.state_key());
+  pristine.step_with_grants(greedy_grants(pristine));
+  EXPECT_EQ(child.state_key(), pristine.state_key());
+}
+
+}  // namespace
+}  // namespace wormsim::sim

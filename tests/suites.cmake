@@ -2,6 +2,7 @@ wormsim_test(sim_tests
   sim/simulator_test.cpp
   sim/arbitration_test.cpp
   sim/deadlock_detect_test.cpp
+  sim/state_key_test.cpp
   sim/workloads_test.cpp
   sim/fuzz_test.cpp)
 
@@ -10,6 +11,7 @@ wormsim_test(analysis_tests
   analysis/deadlock_search_test.cpp
   analysis/message_flow_test.cpp
   analysis/parallel_search_test.cpp
+  analysis/reduction_test.cpp
   analysis/search_profile_test.cpp
   analysis/state_table_test.cpp
   analysis/waitfor_test.cpp)
@@ -39,7 +41,8 @@ wormsim_test(campaign_tests
   campaign/runner_test.cpp
   campaign/truth_store_test.cpp
   campaign/jsonl_schema_test.cpp
-  campaign/fixture_test.cpp)
+  campaign/fixture_test.cpp
+  campaign/reduction_campaign_test.cpp)
 target_link_libraries(campaign_tests PRIVATE wormsim_campaign)
 target_compile_definitions(campaign_tests PRIVATE
   WORMSIM_TEST_DATA_DIR="${CMAKE_CURRENT_SOURCE_DIR}"

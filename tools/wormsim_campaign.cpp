@@ -12,8 +12,10 @@
 //   wormsim_campaign [--seed N] [--count N] [--shards N] [--out FILE]
 //                    [--cache-file FILE] [--shard-index I --shard-total N]
 //                    [--fixture-dir DIR] [--max-states N] [--bias any|force|forbid]
-//                    [--probe-out-of-scope] [--profile] [--no-shrink] [--quiet]
-//   wormsim_campaign --replay FIXTURE.json [--max-states N]
+//                    [--reduction off|safe|on] [--cross-check-reduction]
+//                    [--search-threads N] [--probe-out-of-scope] [--profile]
+//                    [--no-shrink] [--quiet]
+//   wormsim_campaign --replay FIXTURE.json [--max-states N] [--reduction MODE]
 //   wormsim_campaign --merge [--out FILE] [--cache-file FILE] INPUT...
 //
 // Determinism: the JSONL bytes depend only on (--seed, --count, generator
@@ -47,10 +49,13 @@ int usage(const char* argv0) {
                "usage: %s [--seed N] [--count N] [--shards N] [--out FILE]\n"
                "          [--cache-file FILE] [--shard-index I --shard-total N]\n"
                "          [--fixture-dir DIR] [--max-states N]\n"
-               "          [--bias any|force|forbid] [--probe-out-of-scope]\n"
-               "          [--profile] [--no-shrink] [--quiet]\n"
-               "       %s --replay FIXTURE.json [--max-states N]\n"
+               "          [--bias any|force|forbid] [--reduction off|safe|on]\n"
+               "          [--cross-check-reduction] [--search-threads N]\n"
+               "          [--probe-out-of-scope] [--profile] [--no-shrink]\n"
+               "          [--quiet]\n"
+               "       %s --replay FIXTURE.json [--max-states N] [--reduction MODE]\n"
                "       %s --merge [--out FILE] [--cache-file FILE] INPUT...\n"
+               "exit: 0 clean, 1 disagreements, 2 usage, 3 reduction divergence\n"
                "see docs/campaign.md for the full operator's manual\n",
                argv0, argv0, argv0);
   return 2;
@@ -272,6 +277,17 @@ int main(int argc, char** argv) {
       config.fixture_dir = value();
     } else if (arg == "--max-states") {
       config.eval.limits.max_states = parse_u64(value(), "--max-states");
+    } else if (arg == "--reduction") {
+      const auto mode = analysis::reduction_from_string(value());
+      if (!mode) return usage(argv[0]);
+      config.eval.limits.reduction = *mode;
+    } else if (arg == "--cross-check-reduction") {
+      config.eval.cross_check_reduction = true;
+    } else if (arg == "--search-threads") {
+      // Honored by --replay; campaign ground truth forces 1 thread so
+      // recorded states stay deterministic (see EvalOptions::limits).
+      config.eval.limits.threads =
+          static_cast<unsigned>(parse_u64(value(), "--search-threads"));
     } else if (arg == "--bias") {
       const std::string bias = value();
       if (bias == "any") {
@@ -352,6 +368,10 @@ int main(int argc, char** argv) {
             ? static_cast<double>(result.records.size()) /
                   result.elapsed_seconds
             : 0.0);
+    if (config.eval.cross_check_reduction)
+      std::printf("  reduction cross-check: %llu divergence(s)\n",
+                  static_cast<unsigned long long>(
+                      result.reduction_divergences));
     if (!config.cache_file.empty())
       std::printf("  truth-cache %s: loaded=%llu disk-hits=%llu "
                   "memo-hits=%llu misses=%llu stored=%llu%s\n",
@@ -382,5 +402,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A reduction divergence outranks a mere disagreement: it means the
+  // reduced search itself is unsound, so nothing else can be trusted.
+  if (result.reduction_divergences > 0) {
+    std::fprintf(stderr,
+                 "wormsim_campaign: %llu reduction divergence(s) — the "
+                 "reduced search contradicted the unreduced ground truth\n",
+                 static_cast<unsigned long long>(result.reduction_divergences));
+    return 3;
+  }
   return result.disagree == 0 ? 0 : 1;
 }
