@@ -11,8 +11,15 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
+#include <optional>
 
+#include "analysis/deadlock_search.hpp"
+#include "analysis/search_status.hpp"
+#include "core/cyclic_family.hpp"
+#include "core/paper_networks.hpp"
 #include "obs/run_report.hpp"
+#include "obs/status.hpp"
 #include "obs/trace.hpp"
 #include "routing/dor.hpp"
 #include "sim/simulator.hpp"
@@ -103,6 +110,61 @@ void BM_Obs_Metrics(benchmark::State& state) {
   run_mode(state, Mode::kMetrics);
 }
 BENCHMARK(BM_Obs_Metrics)->Unit(benchmark::kMillisecond);
+
+// --- Status-sampler overhead on the search engine --------------------------
+//
+// The same Fig. 1 x2 exhaustive search (the bench_search workhorse) with the
+// live-telemetry board detached (SearchLimits::status == nullptr, one branch
+// per fresh state) versus attached with a StatusSampler heartbeating a file
+// at the production default of 1 s. The off configuration is the acceptance
+// gate — it must track the uninstrumented search; the on configuration is
+// bounded at ~1% (docs/observability.md, EXPERIMENTS.md).
+
+enum class StatusMode { kOff, kOn };
+
+void run_search_status(benchmark::State& state, StatusMode mode) {
+  const core::CyclicFamily family(core::fig1_spec());
+  const auto base = family.message_specs();
+  std::vector<sim::MessageSpec> specs;
+  for (int copy = 0; copy < 2; ++copy)
+    specs.insert(specs.end(), base.begin(), base.end());
+
+  const std::string status_path =
+      (std::filesystem::temp_directory_path() / "bench_obs_status.json")
+          .string();
+  analysis::SearchStatusBoard board;
+  std::optional<obs::StatusSampler> sampler;
+  analysis::SearchLimits limits;
+  if (mode == StatusMode::kOn) {
+    limits.status = &board;
+    sampler.emplace(status_path, 1.0,
+                    [&board] { return analysis::search_status_snapshot(board); });
+  }
+
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(), specs, analysis::AdversaryModel::kSynchronous,
+        limits);
+    benchmark::DoNotOptimize(result.states_explored);
+  }
+  if (sampler) {
+    sampler->stop();
+    std::filesystem::remove(status_path);
+  }
+  state.counters["states"] = static_cast<double>(result.states_explored);
+  state.counters["exhausted"] = result.exhausted ? 1 : 0;
+}
+
+void BM_Obs_SearchStatusOff(benchmark::State& state) {
+  run_search_status(state, StatusMode::kOff);
+}
+BENCHMARK(BM_Obs_SearchStatusOff)->Unit(benchmark::kMillisecond);
+
+void BM_Obs_SearchStatusOn(benchmark::State& state) {
+  run_search_status(state, StatusMode::kOn);
+}
+BENCHMARK(BM_Obs_SearchStatusOn)->Unit(benchmark::kMillisecond);
 
 /// One instrumented run, timed directly, summarized as a RunReport.
 void write_overhead_report() {

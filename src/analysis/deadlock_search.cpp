@@ -11,6 +11,7 @@
 #include <string_view>
 #include <thread>
 
+#include "analysis/search_status.hpp"
 #include "analysis/state_table.hpp"
 #include "routing/routing.hpp"
 #include "util/assert.hpp"
@@ -273,6 +274,12 @@ unsigned resolve_threads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+/// How often a worker copies its local profile into its status-board shard:
+/// every this-many fresh states (power of two; the check is a mask). Large
+/// enough that the publish mutex is uncontended noise, small enough that a
+/// heartbeat a second behind real time still tells the truth.
+constexpr std::uint64_t kStatusPublishStride = 1024;
+
 /// Per-search reduction inputs, resolved once by the entry points: message
 /// specs (twin detection) and — when every route could be traced — the full
 /// oblivious route of each message (component independence). Both indexed
@@ -309,6 +316,7 @@ class SearchEngine {
         red_(reduction),
         delay_mode_(model == AdversaryModel::kBoundedDelay),
         threads_(resolve_threads(limits.threads)),
+        status_(limits.status),
         visited_(threads_ <= 1
                      ? std::size_t{1}
                      : std::min<std::size_t>(256, std::size_t{threads_} * 8)) {
@@ -317,6 +325,8 @@ class SearchEngine {
   DeadlockSearchResult run(sim::WormholeSimulator root,
                            std::size_t message_count) {
     started_ = std::chrono::steady_clock::now();
+    if (status_ != nullptr)
+      status_->begin_search(threads_, limits_.max_states, &visited_);
     DeadlockSearchResult result;
     result.profile.branch_factor =
         obs::Histogram(obs::Histogram::exponential_bounds(1, 4096));
@@ -326,7 +336,7 @@ class SearchEngine {
     const std::size_t channel_count = net_.channel_count();
     workers_.reserve(threads_);
     for (unsigned t = 0; t < threads_; ++t)
-      workers_.emplace_back(channel_count);
+      workers_.emplace_back(channel_count, t);
     Worker& lead = workers_.front();
 
     // The spent-delay vector only exists in the bounded-delay model; the
@@ -349,6 +359,7 @@ class SearchEngine {
       items.reserve(queue.size());
       for (WorkItem& item : queue) items.push_back(std::move(item));
       queue.clear();
+      if (status_ != nullptr) status_->set_frontier(items.size());
 
       if (threads_ <= 1 || items.size() == 1) {
         worker_loop(lead, items);
@@ -376,8 +387,10 @@ class SearchEngine {
     }
 
     for (const Worker& w : workers_) result.profile.merge_from(w.profile);
+    result.worker_profiles.reserve(workers_.size());
+    for (const Worker& w : workers_)
+      result.worker_profiles.push_back(w.profile);
     result.states_explored = states_.load(std::memory_order_relaxed);
-    result.profile.memo_misses = result.states_explored;
     result.exhausted =
         !over_budget_.load(std::memory_order_relaxed) &&
         std::all_of(workers_.begin(), workers_.end(),
@@ -395,6 +408,13 @@ class SearchEngine {
     result.profile.elapsed_seconds = secs;
     result.profile.states_per_second =
         static_cast<double>(result.states_explored) / secs;
+    if (status_ != nullptr) {
+      // Final shard publication (workers have joined), then detach — the
+      // board keeps these as "last search" numbers until the next attach.
+      for (const Worker& w : workers_)
+        status_->publish_worker(w.index, w.profile);
+      status_->end_search(result.states_explored);
+    }
     return result;
   }
 
@@ -403,11 +423,13 @@ class SearchEngine {
 
   /// One DFS execution context; the serial search uses exactly one.
   struct Worker {
-    explicit Worker(std::size_t channel_count) : taken(channel_count) {
+    Worker(std::size_t channel_count, std::size_t idx)
+        : taken(channel_count), index(idx) {
       profile.branch_factor =
           obs::Histogram(obs::Histogram::exponential_bounds(1, 4096));
     }
     TakenSet taken;
+    std::size_t index;  ///< status-board shard this worker publishes to
     std::string key_scratch;
     Assignment branch_scratch;
     /// Retired simulators waiting for reuse by fork_sim: copy-assignment
@@ -502,6 +524,15 @@ class SearchEngine {
       states_.fetch_sub(1, std::memory_order_relaxed);
       over_budget_.store(true, std::memory_order_relaxed);
       return Register::kOverBudget;
+    }
+    // Every fresh state is a memo miss charged to the registering worker,
+    // so the per-worker shards partition states_explored exactly: folding
+    // every worker's memo_misses reproduces the global count.
+    ++w.profile.memo_misses;
+    if (status_ != nullptr &&
+        (w.profile.memo_misses & (kStatusPublishStride - 1)) == 0) {
+      status_->publish_worker(w.index, w.profile);
+      status_->publish_states(count);
     }
     if (limits_.progress_log_interval != 0 &&
         count % limits_.progress_log_interval == 0) {
@@ -715,6 +746,10 @@ class SearchEngine {
       const std::size_t i =
           next_item_.fetch_add(1, std::memory_order_relaxed);
       if (i >= items.size()) return;
+      if (status_ != nullptr) {
+        status_->publish_frontier_next(std::min(i + 1, items.size()));
+        status_->publish_worker(w.index, w.profile);
+      }
       run_item(w, std::move(items[i]), i);
       if (w.found_deadlock) return;
     }
@@ -864,6 +899,7 @@ class SearchEngine {
   const ReductionContext& red_;
   const bool delay_mode_;
   const unsigned threads_;
+  SearchStatusBoard* const status_;
 
   StateTable visited_;
   std::atomic<std::uint64_t> states_{0};
@@ -1026,6 +1062,12 @@ std::optional<DeadlockSearchResult> decomposed_find_deadlock(
         find_deadlock(alg, sub, AdversaryModel::kSynchronous, limits);
     total.states_explored += part.states_explored;
     total.profile.merge_from(part.profile);
+    // Shards merge index-wise (worker t's effort across components stays
+    // worker t's shard), preserving "shards fold to the merged profile".
+    if (total.worker_profiles.size() < part.worker_profiles.size())
+      total.worker_profiles.resize(part.worker_profiles.size());
+    for (std::size_t t = 0; t < part.worker_profiles.size(); ++t)
+      total.worker_profiles[t].merge_from(part.worker_profiles[t]);
     if (!part.exhausted) total.exhausted = false;
     if (part.deadlock_found) {
       finish_decomposed_witness(total, alg, messages, limits, part, to_orig);
@@ -1111,6 +1153,10 @@ std::optional<std::uint32_t> minimal_deadlock_delay(
   const unsigned pool = resolve_threads(limits.threads);
   SearchLimits per_budget = limits;
   per_budget.threads = 1;
+  // A board observes one search at a time; the budgets in a chunk run
+  // concurrently, so the scan's sub-searches are unobserved (documented on
+  // SearchLimits::status).
+  per_budget.status = nullptr;
 
   std::uint32_t budget = 0;
   while (budget <= max_budget) {

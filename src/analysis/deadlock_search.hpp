@@ -51,6 +51,8 @@
 
 namespace wormsim::analysis {
 
+class SearchStatusBoard;  // analysis/search_status.hpp
+
 enum class AdversaryModel {
   kSynchronous,   ///< paper Sections 3–5: progress mandatory, ties adversarial
   kBoundedDelay,  ///< Section 6: in-flight stalls allowed within a budget
@@ -89,6 +91,15 @@ struct SearchLimits {
   /// fewer states, so states_explored and the profile counters differ
   /// between modes.
   ReductionMode reduction = ReductionMode::kOff;
+  /// Live telemetry hook (analysis/search_status.hpp). When non-null the
+  /// engine publishes per-worker profile shards, frontier depth and
+  /// state-table occupancy into the board as it runs; a null board costs
+  /// one branch per fresh state (the WORMSIM_LOG discipline). The board
+  /// must outlive the search, and observes one search at a time —
+  /// minimal_deadlock_delay's concurrent per-budget scans therefore run
+  /// unobserved. Purely observational: verdicts, witnesses and profile
+  /// totals are identical with and without a board attached.
+  SearchStatusBoard* status = nullptr;
 };
 
 /// Where the search spent its effort. memo_misses counts unique states
@@ -149,6 +160,13 @@ struct DeadlockSearchResult {
   std::uint32_t delay_used_max = 0;
   /// Search effort profile (always populated).
   SearchProfile profile;
+  /// Per-worker profile shards, one entry per DFS worker (a serial search
+  /// has exactly one; a decomposed search merges each component's shards
+  /// index-wise). merge_from-folding every shard into a fresh SearchProfile
+  /// reproduces `profile`'s counters exactly — the shards are a partition
+  /// of the search effort, kept so tooling can see where each thread spent
+  /// its time. Timing fields are only stamped on the merged profile.
+  std::vector<SearchProfile> worker_profiles;
   /// Human-readable grant trace leading to the deadlock (one line/cycle).
   /// Empty when SearchLimits::build_witness is false.
   std::vector<std::string> witness;

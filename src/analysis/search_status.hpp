@@ -1,0 +1,120 @@
+// Live introspection into a running deadlock search.
+//
+// A SearchStatusBoard is the rendezvous between one search engine and one
+// sampler thread. The engine attaches at run start (SearchLimits::status),
+// publishes its per-worker SearchProfile shards, frontier cursor and
+// StateTable occupancy as it explores, and detaches at the end; a sampler
+// (obs::StatusSampler, or anything else) calls sample() at any time and
+// gets a coherent picture of the in-flight search. Publication is periodic
+// and amortized — workers copy their local profile into a mutex-guarded
+// shard every ~1k fresh states — so the hot path stays allocation-free and
+// the whole mechanism is TSan-clean: every shared field is either an atomic
+// or written/read under a lock.
+//
+// A board observes one search at a time; sequential searches (a campaign
+// scenario's probes, a decomposed search's components) reuse the board,
+// bumping searches_started/finished. Between searches, sample() reports the
+// final numbers of the last search with active=false.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "analysis/deadlock_search.hpp"
+#include "analysis/state_table.hpp"
+#include "obs/status.hpp"
+
+namespace wormsim::analysis {
+
+class SearchStatusBoard {
+ public:
+  /// One coherent observation. Worker profiles are current-search shards
+  /// (reset when a new search attaches), not accumulated across searches.
+  struct Sample {
+    bool active = false;  ///< a search is attached right now
+    std::uint64_t searches_started = 0;
+    std::uint64_t searches_finished = 0;
+    std::uint64_t states_explored = 0;  ///< current (or last) search
+    std::uint64_t max_states = 0;
+    std::uint64_t frontier_size = 0;  ///< parallel frontier items built
+    std::uint64_t frontier_next = 0;  ///< items claimed so far
+    double elapsed_seconds = 0;       ///< current search; final when idle
+    StateTable::Stats table;          ///< live when active, else last final
+    std::vector<SearchProfile> workers;
+  };
+
+  SearchStatusBoard() = default;
+  SearchStatusBoard(const SearchStatusBoard&) = delete;
+  SearchStatusBoard& operator=(const SearchStatusBoard&) = delete;
+
+  /// Safe to call from any thread, any time.
+  [[nodiscard]] Sample sample() const;
+
+  // --- engine side (deadlock_search.cpp) -------------------------------
+  // begin_search happens-before any publish (the engine spawns its workers
+  // after attaching), and every publish happens-before end_search (thread
+  // join) — so the shard vector is only resized while no worker publishes.
+
+  void begin_search(std::size_t workers, std::uint64_t max_states,
+                    const StateTable* table);
+  /// Captures the final state-table stats and detaches (the table may be
+  /// destroyed as soon as the search returns).
+  void end_search(std::uint64_t final_states);
+  void publish_worker(std::size_t worker, const SearchProfile& profile);
+  void publish_states(std::uint64_t states) {
+    states_.store(states, std::memory_order_relaxed);
+  }
+  void set_frontier(std::uint64_t size) {
+    frontier_size_.store(size, std::memory_order_relaxed);
+  }
+  void publish_frontier_next(std::uint64_t next) {
+    frontier_next_.store(next, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    SearchProfile profile;
+  };
+
+  mutable std::mutex mu_;  // attach/detach state, shard count, table ptr
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t active_workers_ = 0;
+  const StateTable* table_ = nullptr;
+  StateTable::Stats last_table_;
+  bool active_ = false;
+  std::uint64_t searches_started_ = 0;
+  std::uint64_t searches_finished_ = 0;
+  std::chrono::steady_clock::time_point search_start_{};
+  double last_elapsed_ = 0;
+  std::atomic<std::uint64_t> states_{0};
+  std::atomic<std::uint64_t> max_states_{0};
+  std::atomic<std::uint64_t> frontier_size_{0};
+  std::atomic<std::uint64_t> frontier_next_{0};
+};
+
+/// Distills a board sample into the plain-number obs mirror: worker shards
+/// merged, branch-factor percentiles computed, table stats copied.
+[[nodiscard]] obs::SearchStatus to_search_status(
+    const SearchStatusBoard::Sample& sample);
+
+/// One worker shard as a status row. Verdict counters stay zero (those
+/// belong to campaign workers); `states` is the shard's memo_misses — the
+/// unique states this worker expanded.
+[[nodiscard]] obs::WorkerStatus to_worker_status(const SearchProfile& profile);
+
+/// A complete kind="search" snapshot for a bare find_deadlock run — the
+/// producer a StatusSampler needs to heartbeat a standalone search:
+///
+///   SearchStatusBoard board;
+///   limits.status = &board;
+///   obs::StatusSampler sampler(path, 1.0,
+///       [&board] { return search_status_snapshot(board); });
+[[nodiscard]] obs::StatusSnapshot search_status_snapshot(
+    const SearchStatusBoard& board);
+
+}  // namespace wormsim::analysis

@@ -39,7 +39,13 @@ bool StateTable::insert_hashed(std::string_view key, std::uint64_t hash) {
   // High bits pick the stripe, low bits the probe start, so the probe
   // sequence within a stripe is independent of the stripe choice.
   Stripe& stripe = stripes_[(hash >> 48) & stripe_mask_];
-  std::lock_guard<std::mutex> lock(stripe.mutex);
+  // try_lock first so blocked acquisitions can be counted; `contended` is
+  // only touched while the mutex is held, so the counter itself is safe.
+  std::unique_lock<std::mutex> lock(stripe.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock.lock();
+    ++stripe.contended;
+  }
 
   if ((stripe.count + 1) * kLoadDen > stripe.slots.size() * kLoadNum)
     grow(stripe);
@@ -70,6 +76,19 @@ std::uint64_t StateTable::size() const {
     total += stripe.count;
   }
   return total;
+}
+
+StateTable::Stats StateTable::stats() const {
+  Stats out;
+  out.stripes = stripes_.size();
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    out.keys += stripe.count;
+    out.slots += stripe.slots.size();
+    out.arena_bytes += stripe.arena.size();
+    out.contended_locks += stripe.contended;
+  }
+  return out;
 }
 
 }  // namespace wormsim::analysis

@@ -98,6 +98,20 @@ class StateTable {
 
   [[nodiscard]] std::size_t stripe_count() const { return stripes_.size(); }
 
+  /// Occupancy and contention counters for live telemetry.
+  struct Stats {
+    std::uint64_t keys = 0;         ///< distinct keys stored
+    std::uint64_t slots = 0;        ///< open-addressing capacity, all stripes
+    std::uint64_t arena_bytes = 0;  ///< raw key bytes resident
+    std::uint64_t stripes = 0;
+    std::uint64_t contended_locks = 0;  ///< inserts that had to wait
+  };
+
+  /// Takes the stripe locks one at a time, so concurrent inserts can land
+  /// between stripes — the totals are a sampling-grade snapshot (exact once
+  /// inserters have quiesced), which is all the status heartbeat needs.
+  [[nodiscard]] Stats stats() const;
+
  private:
   /// Open-addressing slot; hash == 0 marks an empty slot (a real zero hash
   /// is remapped in insert_hashed).
@@ -112,6 +126,7 @@ class StateTable {
     std::vector<Slot> slots;  ///< power-of-two size
     std::string arena;        ///< key bytes, back to back
     std::size_t count = 0;
+    std::uint64_t contended = 0;  ///< lock waits, guarded by mutex
   };
 
   static void grow(Stripe& stripe);

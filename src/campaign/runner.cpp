@@ -4,13 +4,18 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <unordered_set>
 
+#include "analysis/search_status.hpp"
 #include "campaign/shrink.hpp"
 #include "core/analyzer.hpp"
 #include "obs/json.hpp"
+#include "obs/status.hpp"
 #include "routing/routing.hpp"
 
 namespace wormsim::campaign {
@@ -144,6 +149,24 @@ struct CacheCounters {
   std::atomic<std::uint64_t> disk_hits{0};
   std::atomic<std::uint64_t> memo_hits{0};
   std::atomic<std::uint64_t> misses{0};
+};
+
+/// Per-campaign-worker telemetry, allocated only when a status file was
+/// requested. Verdict counters are relaxed atomics bumped once per
+/// scenario; the accumulated profile is folded under a mutex at the same
+/// cadence; the board is the live window into the worker's in-flight
+/// ground-truth searches. A run without a status file never allocates
+/// these and the worker loop takes one null-check branch per scenario —
+/// the same discipline as WORMSIM_LOG and the metrics hooks.
+struct WorkerTelemetry {
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<std::uint64_t> agree{0};
+  std::atomic<std::uint64_t> disagree{0};
+  std::atomic<std::uint64_t> skip{0};
+  std::atomic<std::uint64_t> states{0};
+  std::mutex profile_mu;
+  analysis::SearchProfile profile;  ///< accumulated over finished scenarios
+  analysis::SearchStatusBoard board;
 };
 
 SearchOutcome expected_outcome(Prediction prediction) {
@@ -406,14 +429,25 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   CacheCounters counters;
   std::atomic<std::uint64_t> divergences{0};
 
+  // Live heartbeat plumbing (CampaignConfig::status_file). One telemetry
+  // block per worker; the sampler thread aggregates them on its interval.
+  // Everything here is observational — verdicts, JSONL bytes and the truth
+  // cache are untouched by the status pointer riding along in the limits.
+  std::vector<std::unique_ptr<WorkerTelemetry>> telemetry;
+  if (!config.status_file.empty())
+    for (unsigned t = 0; t < shards; ++t)
+      telemetry.push_back(std::make_unique<WorkerTelemetry>());
+
   std::atomic<std::uint64_t> next{result.first_index};
-  const auto worker = [&] {
+  const auto worker = [&](WorkerTelemetry* tele) {
+    EvalOptions local_opts = eval_opts;
+    if (tele != nullptr) local_opts.limits.status = &tele->board;
     for (;;) {
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= result.end_index) return;
       const Scenario scenario = generator.generate(i);
       const Evaluation eval =
-          evaluate_impl(scenario, eval_opts, &cache, &counters);
+          evaluate_impl(scenario, local_opts, &cache, &counters);
       if (eval.reduction_divergence)
         divergences.fetch_add(1, std::memory_order_relaxed);
       ScenarioRecord& record = result.records[i - result.first_index];
@@ -428,16 +462,117 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       record.states = eval.states;
       record.scenario_json = scenario.to_json();
       if (config.collect_profile) profiles[i - result.first_index] = eval.profile;
+      if (tele != nullptr) {
+        tele->done.fetch_add(1, std::memory_order_relaxed);
+        tele->states.fetch_add(eval.states, std::memory_order_relaxed);
+        switch (eval.verdict) {
+          case Verdict::kAgree:
+            tele->agree.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case Verdict::kDisagree:
+            tele->disagree.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case Verdict::kSkip:
+            tele->skip.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        std::lock_guard<std::mutex> lock(tele->profile_mu);
+        tele->profile.merge_from(eval.profile);
+      }
     }
   };
+  const auto telemetry_of = [&](unsigned t) -> WorkerTelemetry* {
+    return telemetry.empty() ? nullptr : telemetry[t].get();
+  };
+
+  std::optional<obs::StatusSampler> sampler;
+  if (!config.status_file.empty()) {
+    sampler.emplace(
+        config.status_file, config.status_interval_seconds,
+        [&result, &config, &telemetry, &counters] {
+          obs::StatusSnapshot snap;
+          snap.kind = "campaign";
+          snap.count = config.count;
+          snap.first_index = result.first_index;
+          snap.end_index = result.end_index;
+          analysis::SearchProfile live_merged;
+          for (const auto& tele : telemetry) {
+            snap.done += tele->done.load(std::memory_order_relaxed);
+            snap.agree += tele->agree.load(std::memory_order_relaxed);
+            snap.disagree += tele->disagree.load(std::memory_order_relaxed);
+            snap.skip += tele->skip.load(std::memory_order_relaxed);
+            snap.states_total += tele->states.load(std::memory_order_relaxed);
+            // The `search` section aggregates what the workers' engines are
+            // doing right now (current/last search per board).
+            const auto s = tele->board.sample();
+            snap.search.active |= s.active;
+            snap.search.searches_started += s.searches_started;
+            snap.search.searches_finished += s.searches_finished;
+            snap.search.states_explored += s.states_explored;
+            snap.search.max_states =
+                std::max(snap.search.max_states, s.max_states);
+            snap.search.frontier_size += s.frontier_size;
+            snap.search.frontier_next += s.frontier_next;
+            snap.search.table_keys += s.table.keys;
+            snap.search.table_slots += s.table.slots;
+            snap.search.table_arena_bytes += s.table.arena_bytes;
+            snap.search.table_stripes += s.table.stripes;
+            snap.search.table_contended_locks += s.table.contended_locks;
+            for (const analysis::SearchProfile& p : s.workers)
+              live_merged.merge_from(p);
+            // The `workers` rows carry each worker's accumulated totals.
+            obs::WorkerStatus w;
+            {
+              std::lock_guard<std::mutex> lock(tele->profile_mu);
+              w = analysis::to_worker_status(tele->profile);
+            }
+            w.done = tele->done.load(std::memory_order_relaxed);
+            w.agree = tele->agree.load(std::memory_order_relaxed);
+            w.disagree = tele->disagree.load(std::memory_order_relaxed);
+            w.skip = tele->skip.load(std::memory_order_relaxed);
+            w.states = tele->states.load(std::memory_order_relaxed);
+            snap.workers.push_back(w);
+          }
+          snap.search.memo_hits = live_merged.memo_hits;
+          snap.search.memo_misses = live_merged.memo_misses;
+          snap.search.memo_hit_rate = live_merged.memo_hit_rate();
+          snap.search.peak_depth = live_merged.peak_depth;
+          snap.search.branch_truncations = live_merged.branch_truncations;
+          snap.search.budget_prunes = live_merged.budget_prunes;
+          snap.search.branch_p50 = live_merged.branch_factor.p50();
+          snap.search.branch_p90 = live_merged.branch_factor.p90();
+          snap.search.branch_p99 = live_merged.branch_factor.p99();
+          snap.truth_disk_hits =
+              counters.disk_hits.load(std::memory_order_relaxed);
+          snap.truth_memo_hits =
+              counters.memo_hits.load(std::memory_order_relaxed);
+          snap.truth_misses = counters.misses.load(std::memory_order_relaxed);
+          const std::uint64_t lookups =
+              snap.truth_disk_hits + snap.truth_memo_hits + snap.truth_misses;
+          snap.truth_hit_rate =
+              lookups > 0 ? static_cast<double>(snap.truth_disk_hits +
+                                                snap.truth_memo_hits) /
+                                static_cast<double>(lookups)
+                          : 0;
+          return snap;
+        });
+  }
+
   if (shards == 1) {
-    worker();
+    worker(telemetry_of(0));
   } else {
     std::vector<std::thread> threads;
     threads.reserve(shards);
-    for (unsigned t = 0; t < shards; ++t) threads.emplace_back(worker);
+    for (unsigned t = 0; t < shards; ++t)
+      threads.emplace_back([&worker, &telemetry_of, t] {
+        worker(telemetry_of(t));
+      });
     for (std::thread& t : threads) t.join();
   }
+  // All workers have retired: the final heartbeat (running=false, done ==
+  // slice size) lands before any post-processing, so monitors see "done"
+  // even while shrinking/fixture dumping still runs.
+  if (sampler) sampler->stop();
 
   // Aggregate serially in index order so merged histograms and counters are
   // independent of scheduling.

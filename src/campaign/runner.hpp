@@ -117,6 +117,16 @@ struct CampaignConfig {
   std::size_t shrink_budget = 200;  ///< predicate evaluations per shrink
   /// Directory for reproducer fixtures; empty disables dumping.
   std::string fixture_dir = ".";
+  /// Live heartbeat: path of an atomically rewritten JSON status file
+  /// (docs/observability.md documents the schema). Empty (the default)
+  /// disables sampling entirely — no sampler thread, no per-scenario
+  /// branches taken. Purely observational: the JSONL records and the truth
+  /// cache are byte-identical with and without a status file.
+  std::string status_file;
+  /// Heartbeat refresh interval in seconds (clamped to >= 10ms). A final
+  /// snapshot with running=false and done == slice size is always written
+  /// when the run finishes, whatever the interval.
+  double status_interval_seconds = 1.0;
 };
 
 struct ScenarioRecord {

@@ -53,6 +53,12 @@ std::string number(double v) {
   return buf;
 }
 
+std::string number_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
 const Value* Value::find(std::string_view key) const {
   if (!is_object()) return nullptr;
   const Object& obj = as_object();
@@ -126,6 +132,16 @@ class Parser {
             text_[pos_] == '+' || text_[pos_] == '-'))
       ++pos_;
     if (pos_ == start) return std::nullopt;
+    const std::string_view lit = text_.substr(start, pos_ - start);
+    // Non-negative integer literals that fit in u64 are kept exact; a
+    // double would silently round counters above 2^53.
+    if (lit.find_first_of(".eE-") == std::string_view::npos) {
+      std::uint64_t exact = 0;
+      const auto [uend, uec] =
+          std::from_chars(lit.data(), lit.data() + lit.size(), exact);
+      if (uec == std::errc{} && uend == lit.data() + lit.size())
+        return Value(exact);
+    }
     double out = 0;
     const auto [end, ec] =
         std::from_chars(text_.data() + start, text_.data() + pos_, out);

@@ -5,9 +5,12 @@
 // structural validity. Rather than pull in a dependency, this header
 // provides a string escaper plus a small recursive-descent parser producing
 // a variant tree. The parser accepts standard JSON; numbers are held as
-// double (adequate for every value the exporters emit).
+// double, except non-negative integer literals that fit in 64 bits, which
+// are preserved exactly (counters routinely exceed 2^53, where doubles
+// start dropping low-order bits).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -28,6 +31,11 @@ std::string quote(std::string_view s);
 /// fractional part, non-finite values (invalid JSON) print as null.
 std::string number(double v);
 
+/// Formats an unsigned 64-bit counter as an exact JSON integer. number()
+/// would round values above 2^53 through the double mantissa; every u64
+/// emitted by the exporters goes through this instead.
+std::string number_u64(std::uint64_t v);
+
 class Value;
 using Array = std::vector<Value>;
 using Object = std::map<std::string, Value>;
@@ -36,8 +44,8 @@ using Object = std::map<std::string, Value>;
 /// rely on for deterministic iteration.
 class Value {
  public:
-  using Storage =
-      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+  using Storage = std::variant<std::nullptr_t, bool, double, std::uint64_t,
+                               std::string, Array, Object>;
 
   Value() : storage_(nullptr) {}
   template <typename T>
@@ -50,7 +58,12 @@ class Value {
     return std::holds_alternative<bool>(storage_);
   }
   [[nodiscard]] bool is_number() const {
-    return std::holds_alternative<double>(storage_);
+    return std::holds_alternative<double>(storage_) ||
+           std::holds_alternative<std::uint64_t>(storage_);
+  }
+  /// True when the literal was a non-negative integer preserved exactly.
+  [[nodiscard]] bool is_exact_u64() const {
+    return std::holds_alternative<std::uint64_t>(storage_);
   }
   [[nodiscard]] bool is_string() const {
     return std::holds_alternative<std::string>(storage_);
@@ -63,7 +76,16 @@ class Value {
   }
 
   [[nodiscard]] bool as_bool() const { return std::get<bool>(storage_); }
-  [[nodiscard]] double as_number() const { return std::get<double>(storage_); }
+  [[nodiscard]] double as_number() const {
+    if (const auto* u = std::get_if<std::uint64_t>(&storage_))
+      return static_cast<double>(*u);
+    return std::get<double>(storage_);
+  }
+  /// Exact value for integer literals; double-rounded for everything else.
+  [[nodiscard]] std::uint64_t as_u64() const {
+    if (const auto* u = std::get_if<std::uint64_t>(&storage_)) return *u;
+    return static_cast<std::uint64_t>(std::get<double>(storage_));
+  }
   [[nodiscard]] const std::string& as_string() const {
     return std::get<std::string>(storage_);
   }

@@ -111,7 +111,7 @@ const Histogram* MetricsRegistry::find_histogram(
 }
 
 std::string histogram_to_json(const Histogram& h) {
-  std::string out = "{\"count\":" + json::number(static_cast<double>(h.count())) +
+  std::string out = "{\"count\":" + json::number_u64(h.count()) +
                     ",\"sum\":" + json::number(h.sum()) +
                     ",\"min\":" + json::number(h.min()) +
                     ",\"max\":" + json::number(h.max()) +
@@ -122,7 +122,7 @@ std::string histogram_to_json(const Histogram& h) {
     if (i) out += ',';
     out += "{\"le\":";
     out += i < bounds.size() ? json::number(bounds[i]) : "\"+Inf\"";
-    out += ",\"count\":" + json::number(static_cast<double>(counts[i])) + "}";
+    out += ",\"count\":" + json::number_u64(counts[i]) + "}";
   }
   out += "]}";
   return out;
@@ -134,8 +134,7 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, c] : counters_) {
     if (!first) out += ',';
     first = false;
-    out += json::quote(name) + ":" +
-           json::number(static_cast<double>(c->value()));
+    out += json::quote(name) + ":" + json::number_u64(c->value());
   }
   out += "},\"gauges\":{";
   first = true;

@@ -79,6 +79,11 @@ class Histogram {
   /// observations beyond the last finite bound, returns the observed max.
   [[nodiscard]] double percentile(double p) const;
 
+  /// The quantiles the status snapshots report (median, tail, far tail).
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p90() const { return percentile(0.90); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
   /// `{1, 2, 4, ..., <= limit}` — the standard bounds used for cycle-count
   /// and branch-factor histograms.
   static std::vector<double> exponential_bounds(double first, double limit);

@@ -1,0 +1,210 @@
+#include "obs/status.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace wormsim::obs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void append_search(std::string& out, const SearchStatus& s) {
+  out += "{\"active\":";
+  out += s.active ? "true" : "false";
+  out += ",\"searches_started\":" + json::number_u64(s.searches_started);
+  out += ",\"searches_finished\":" + json::number_u64(s.searches_finished);
+  out += ",\"states_explored\":" + json::number_u64(s.states_explored);
+  out += ",\"max_states\":" + json::number_u64(s.max_states);
+  out += ",\"frontier_size\":" + json::number_u64(s.frontier_size);
+  out += ",\"frontier_next\":" + json::number_u64(s.frontier_next);
+  out += ",\"memo_hits\":" + json::number_u64(s.memo_hits);
+  out += ",\"memo_misses\":" + json::number_u64(s.memo_misses);
+  out += ",\"memo_hit_rate\":" + json::number(s.memo_hit_rate);
+  out += ",\"peak_depth\":" + json::number_u64(s.peak_depth);
+  out += ",\"branch_truncations\":" + json::number_u64(s.branch_truncations);
+  out += ",\"budget_prunes\":" + json::number_u64(s.budget_prunes);
+  out += ",\"branch_p50\":" + json::number(s.branch_p50);
+  out += ",\"branch_p90\":" + json::number(s.branch_p90);
+  out += ",\"branch_p99\":" + json::number(s.branch_p99);
+  out += ",\"table_keys\":" + json::number_u64(s.table_keys);
+  out += ",\"table_slots\":" + json::number_u64(s.table_slots);
+  out += ",\"table_arena_bytes\":" + json::number_u64(s.table_arena_bytes);
+  out += ",\"table_stripes\":" + json::number_u64(s.table_stripes);
+  out += ",\"table_contended_locks\":" +
+         json::number_u64(s.table_contended_locks);
+  out += "}";
+}
+
+void append_worker(std::string& out, const WorkerStatus& w) {
+  out += "{\"done\":" + json::number_u64(w.done);
+  out += ",\"agree\":" + json::number_u64(w.agree);
+  out += ",\"disagree\":" + json::number_u64(w.disagree);
+  out += ",\"skip\":" + json::number_u64(w.skip);
+  out += ",\"states\":" + json::number_u64(w.states);
+  out += ",\"memo_hits\":" + json::number_u64(w.memo_hits);
+  out += ",\"memo_misses\":" + json::number_u64(w.memo_misses);
+  out += ",\"peak_depth\":" + json::number_u64(w.peak_depth);
+  out += ",\"branch_truncations\":" + json::number_u64(w.branch_truncations);
+  out += ",\"budget_prunes\":" + json::number_u64(w.budget_prunes);
+  out += ",\"branch_p50\":" + json::number(w.branch_p50);
+  out += ",\"branch_p90\":" + json::number(w.branch_p90);
+  out += ",\"branch_p99\":" + json::number(w.branch_p99);
+  out += "}";
+}
+
+}  // namespace
+
+std::string StatusSnapshot::to_json() const {
+  std::string out = "{\"schema\":\"wormsim-status-v1\"";
+  out += ",\"kind\":" + json::quote(kind);
+  out += ",\"seq\":" + json::number_u64(seq);
+  out += ",\"pid\":" + json::number_u64(pid);
+  out += ",\"running\":";
+  out += running ? "true" : "false";
+  out += ",\"elapsed_seconds\":" + json::number(elapsed_seconds);
+  out += ",\"progress\":{";
+  out += "\"count\":" + json::number_u64(count);
+  out += ",\"first_index\":" + json::number_u64(first_index);
+  out += ",\"end_index\":" + json::number_u64(end_index);
+  out += ",\"done\":" + json::number_u64(done);
+  out += ",\"agree\":" + json::number_u64(agree);
+  out += ",\"disagree\":" + json::number_u64(disagree);
+  out += ",\"skip\":" + json::number_u64(skip);
+  out += ",\"states_total\":" + json::number_u64(states_total);
+  out += ",\"rate_per_second\":" + json::number(rate_per_second);
+  out += ",\"eta_seconds\":" + json::number(eta_seconds);
+  out += "},\"truth_cache\":{";
+  out += "\"disk_hits\":" + json::number_u64(truth_disk_hits);
+  out += ",\"memo_hits\":" + json::number_u64(truth_memo_hits);
+  out += ",\"misses\":" + json::number_u64(truth_misses);
+  out += ",\"hit_rate\":" + json::number(truth_hit_rate);
+  out += "},\"search\":";
+  append_search(out, search);
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (i) out += ',';
+    append_worker(out, workers[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+StatusWriter::StatusWriter(std::string path) : path_(std::move(path)) {}
+
+bool StatusWriter::write(StatusSnapshot snapshot) {
+  snapshot.seq = seq_ + 1;
+  snapshot.pid = static_cast<std::uint64_t>(::getpid());
+  const std::string body = snapshot.to_json();
+
+  std::error_code ec;
+  const fs::path dest(path_);
+  if (dest.has_parent_path()) fs::create_directories(dest.parent_path(), ec);
+
+  // Unique sibling temp name (same directory => same filesystem => rename
+  // is atomic), then rename over the destination. A concurrent reader sees
+  // either the previous snapshot or this one, never a torn mix.
+  std::ostringstream tmp_name;
+  tmp_name << path_ << ".tmp." << ::getpid() << "."
+           << reinterpret_cast<std::uintptr_t>(this);
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out) {
+      fs::remove(tmp, ec);
+      ++failures_;
+      return false;
+    }
+  }
+  fs::rename(tmp, path_, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    ++failures_;
+    return false;
+  }
+  ++seq_;
+  return true;
+}
+
+StatusSampler::StatusSampler(std::string path, double interval_seconds,
+                             Producer producer)
+    : writer_(std::move(path)),
+      interval_seconds_(std::max(0.01, interval_seconds)),
+      producer_(std::move(producer)),
+      started_(std::chrono::steady_clock::now()) {
+  write_once(true);  // the file exists as soon as the run starts
+  thread_ = std::thread([this] { loop(); });
+}
+
+StatusSampler::~StatusSampler() { stop(); }
+
+void StatusSampler::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    cv_.wait_for(lk, std::chrono::duration<double>(interval_seconds_),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lk.unlock();
+    write_once(true);
+    lk.lock();
+  }
+}
+
+void StatusSampler::write_once(bool running) {
+  StatusSnapshot snap = producer_();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started_;
+  snap.elapsed_seconds = elapsed.count();
+  snap.running = running;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Rolling completion rate over the last samples; ETA for the slice this
+  // producer is working through.
+  window_.emplace_back(snap.elapsed_seconds, snap.done);
+  while (window_.size() > 20) window_.pop_front();
+  const double dt = window_.back().first - window_.front().first;
+  const std::uint64_t ddone = window_.back().second - window_.front().second;
+  snap.rate_per_second = dt > 0 ? static_cast<double>(ddone) / dt : 0;
+  const std::uint64_t slice =
+      snap.end_index > snap.first_index ? snap.end_index - snap.first_index : 0;
+  const std::uint64_t remaining = slice > snap.done ? slice - snap.done : 0;
+  if (remaining == 0)
+    snap.eta_seconds = 0;
+  else if (snap.rate_per_second > 0)
+    snap.eta_seconds = static_cast<double>(remaining) / snap.rate_per_second;
+  else
+    snap.eta_seconds = -1;  // unknown: no progress observed yet
+  writer_.write(std::move(snap));
+}
+
+void StatusSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    stop_ = true;
+    joined_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  write_once(false);
+}
+
+std::uint64_t StatusSampler::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.writes();
+}
+
+std::uint64_t StatusSampler::write_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.write_failures();
+}
+
+}  // namespace wormsim::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -130,6 +131,55 @@ TEST(StateTable, SpentCountersDifferingBy256DoNotAlias) {
   EXPECT_TRUE(table.insert(base + spent0));
   EXPECT_TRUE(table.insert(base + spent256));  // distinct, not a revisit
   EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(StateTable, StatsReportOccupancyAfterQuiescence) {
+  StateTable table(4);
+  const StateTable::Stats empty = table.stats();
+  EXPECT_EQ(empty.keys, 0u);
+  EXPECT_EQ(empty.stripes, 4u);
+  EXPECT_EQ(empty.arena_bytes, 0u);
+  EXPECT_EQ(empty.contended_locks, 0u);
+
+  const auto keys = random_keys(1000, 31337);
+  std::unordered_set<std::string> reference;
+  std::uint64_t raw_bytes = 0;
+  for (const std::string& key : keys)
+    if (reference.insert(key).second) raw_bytes += key.size();
+  for (const std::string& key : keys) table.insert(key);
+
+  const StateTable::Stats stats = table.stats();
+  EXPECT_EQ(stats.keys, reference.size());
+  EXPECT_EQ(stats.keys, table.size());
+  EXPECT_EQ(stats.arena_bytes, raw_bytes);  // exactly the raw key bytes
+  EXPECT_GE(stats.slots, stats.keys);       // open addressing: load < 1
+  EXPECT_EQ(stats.stripes, 4u);
+  EXPECT_EQ(stats.contended_locks, 0u);  // single-threaded: never waited
+}
+
+TEST(StateTable, StatsAreSamplingSafeDuringConcurrentInserts) {
+  // stats() takes stripe locks one at a time, so calling it while inserters
+  // run must be race-free (TSan covers this) and end with exact totals.
+  const auto keys = random_keys(2000, 999);
+  StateTable table(8);
+  std::atomic<bool> done{false};
+  std::thread sampler([&] {
+    while (!done.load()) {
+      const StateTable::Stats s = table.stats();
+      EXPECT_LE(s.keys, keys.size());
+    }
+  });
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < 2; ++t)
+    pool.emplace_back([&] {
+      for (const std::string& key : keys) table.insert(key);
+    });
+  for (std::thread& th : pool) th.join();
+  done.store(true);
+  sampler.join();
+
+  std::unordered_set<std::string> distinct(keys.begin(), keys.end());
+  EXPECT_EQ(table.stats().keys, distinct.size());
 }
 
 TEST(StateTable, ConcurrentInsertersAgreeOnFirstVisit) {

@@ -51,6 +51,31 @@ TEST(HistogramTest, PercentileQueries) {
   EXPECT_DOUBLE_EQ(h.percentile(1.0), 100);
 }
 
+TEST(HistogramTest, NamedPercentileAccessorsMatchPercentile) {
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.p50(), h.percentile(0.50));
+  EXPECT_DOUBLE_EQ(h.p90(), h.percentile(0.90));
+  EXPECT_DOUBLE_EQ(h.p99(), h.percentile(0.99));
+  // With 1..100 uniform and decade buckets, the named quantiles land on
+  // their bucket upper bounds.
+  EXPECT_DOUBLE_EQ(h.p50(), 50);
+  EXPECT_DOUBLE_EQ(h.p90(), 90);
+  EXPECT_DOUBLE_EQ(h.p99(), 100);
+}
+
+TEST(HistogramTest, NamedPercentilesOnSkewedDistribution) {
+  Histogram h({1, 2, 4, 8});
+  // 97 observations at 1, 2 at 3, 1 at 100: the tail only shows past p97.
+  for (int i = 0; i < 97; ++i) h.observe(1);
+  h.observe(3);
+  h.observe(3);
+  h.observe(100);
+  EXPECT_DOUBLE_EQ(h.p50(), 1);
+  EXPECT_DOUBLE_EQ(h.p90(), 1);
+  EXPECT_DOUBLE_EQ(h.p99(), 4);  // bucket le=4 holds the 3s
+}
+
 TEST(HistogramTest, PercentileOfOverflowReturnsObservedMax) {
   Histogram h({10});
   h.observe(5);
@@ -133,6 +158,36 @@ TEST(JsonTest, ParserRejectsMalformedDocuments) {
   EXPECT_FALSE(json::parse("[1,]").has_value());
   EXPECT_FALSE(json::parse("{\"a\":1} trailing").has_value());
   EXPECT_FALSE(json::parse("'single'").has_value());
+}
+
+TEST(JsonTest, U64LiteralsRoundTripExactly) {
+  // Counters beyond 2^53 lose low-order bits through a double mantissa;
+  // number_u64 + the exact-integer parse path must preserve them.
+  const std::uint64_t big = (1ull << 63) + 4611686018427387907ull;  // odd
+  const std::string text = json::number_u64(big);
+  EXPECT_EQ(text, "13835058055282163715");
+  const auto v = json::parse(text);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->is_number());
+  EXPECT_TRUE(v->is_exact_u64());
+  EXPECT_EQ(v->as_u64(), big);
+
+  const auto max = json::parse("18446744073709551615");  // UINT64_MAX
+  ASSERT_TRUE(max.has_value());
+  EXPECT_TRUE(max->is_exact_u64());
+  EXPECT_EQ(max->as_u64(), 18446744073709551615ull);
+}
+
+TEST(JsonTest, NonIntegerNumbersStayDoubles) {
+  // Fractions, exponents, and negatives take the double path; as_u64 still
+  // gives a best-effort cast for mixed-provenance readers.
+  for (const char* text : {"1.5", "-7", "2e3", "18446744073709551616"}) {
+    const auto v = json::parse(text);
+    ASSERT_TRUE(v.has_value()) << text;
+    EXPECT_TRUE(v->is_number()) << text;
+    EXPECT_FALSE(v->is_exact_u64()) << text;
+  }
+  EXPECT_EQ(json::parse("2e3")->as_u64(), 2000u);
 }
 
 TEST(JsonTest, ParsesNestedStructures) {

@@ -13,11 +13,13 @@ wormsim_test(analysis_tests
   analysis/parallel_search_test.cpp
   analysis/reduction_test.cpp
   analysis/search_profile_test.cpp
+  analysis/search_status_test.cpp
   analysis/state_table_test.cpp
   analysis/waitfor_test.cpp)
 
 wormsim_test(obs_tests
   obs/metrics_test.cpp
+  obs/status_test.cpp
   obs/trace_test.cpp
   obs/run_report_test.cpp)
 
@@ -41,6 +43,7 @@ wormsim_test(campaign_tests
   campaign/runner_test.cpp
   campaign/truth_store_test.cpp
   campaign/jsonl_schema_test.cpp
+  campaign/status_schema_test.cpp
   campaign/fixture_test.cpp
   campaign/reduction_campaign_test.cpp)
 target_link_libraries(campaign_tests PRIVATE wormsim_campaign)

@@ -14,6 +14,7 @@
 //                    [--fixture-dir DIR] [--max-states N] [--bias any|force|forbid]
 //                    [--reduction off|safe|on] [--cross-check-reduction]
 //                    [--search-threads N] [--probe-out-of-scope] [--profile]
+//                    [--status-file FILE] [--status-interval SECONDS]
 //                    [--no-shrink] [--quiet]
 //   wormsim_campaign --replay FIXTURE.json [--max-states N] [--reduction MODE]
 //   wormsim_campaign --merge [--out FILE] [--cache-file FILE] INPUT...
@@ -52,6 +53,7 @@ int usage(const char* argv0) {
                "          [--bias any|force|forbid] [--reduction off|safe|on]\n"
                "          [--cross-check-reduction] [--search-threads N]\n"
                "          [--probe-out-of-scope] [--profile] [--no-shrink]\n"
+               "          [--status-file FILE] [--status-interval SECONDS]\n"
                "          [--quiet]\n"
                "       %s --replay FIXTURE.json [--max-states N] [--reduction MODE]\n"
                "       %s --merge [--out FILE] [--cache-file FILE] INPUT...\n"
@@ -298,6 +300,18 @@ int main(int argc, char** argv) {
         config.knobs.cycle_bias = campaign::CycleBias::kForbid;
       } else {
         return usage(argv[0]);
+      }
+    } else if (arg == "--status-file") {
+      // Live heartbeat (docs/observability.md); watch with wormsim_status.
+      config.status_file = value();
+    } else if (arg == "--status-interval") {
+      char* end = nullptr;
+      config.status_interval_seconds = std::strtod(value(), &end);
+      if (end == argv[i] || *end != '\0' ||
+          !(config.status_interval_seconds > 0)) {
+        std::fprintf(stderr,
+                     "wormsim_campaign: bad value for --status-interval\n");
+        return 2;
       }
     } else if (arg == "--probe-out-of-scope") {
       config.eval.probe_out_of_scope = true;
