@@ -7,8 +7,15 @@
 //   max_latency    worst observed
 //   delivered      fraction of offered messages delivered in the horizon
 //   flits_per_cyc  network activity
+//   ns_per_active_channel_cycle
+//                  wall time / run cycles / mean busy channels — per-cycle
+//                  cost normalized by how much of the network was actually
+//                  working, so the cycle core (which pays for every channel
+//                  every cycle) and the event core (which pays only for
+//                  scheduled work) are directly comparable.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 
 #include "routing/dor.hpp"
@@ -25,7 +32,7 @@ constexpr sim::Cycle kDrain = 30'000;
 void run_workload(benchmark::State& state,
                   const routing::RoutingAlgorithm& alg,
                   const topo::Grid& grid, sim::TrafficPattern pattern,
-                  double rate) {
+                  double rate, sim::SimCore core = sim::SimCore::kCycle) {
   sim::WorkloadConfig config;
   config.pattern = pattern;
   config.injection_rate = rate;
@@ -38,14 +45,23 @@ void run_workload(benchmark::State& state,
   sim::SimConfig sim_config;
   sim_config.buffer_depth = 2;
   sim_config.max_cycles = kDrain;
+  sim_config.core = core;
 
   sim::WorkloadStats stats;
   sim::Cycle cycles = 0;
+  double run_seconds = 0;
+  double active_channels = 0;
   for (auto _ : state) {
     sim::WormholeSimulator simulator(alg, sim_config, policy);
     for (const auto& spec : specs) simulator.add_message(spec);
+    const auto start = std::chrono::steady_clock::now();
     const auto result = simulator.run();
+    run_seconds += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
     cycles = result.cycles;
+    active_channels = simulator.busy_channel_fraction() *
+                      static_cast<double>(grid.net().channel_count());
     stats = sim::summarize_workload(simulator, result.cycles);
     // Copy before DoNotOptimize: the "+r" asm constraint of older
     // google-benchmark versions clobbers double lvalues.
@@ -61,6 +77,15 @@ void run_workload(benchmark::State& state,
                                static_cast<double>(stats.offered);
   state.counters["flits_per_cyc"] = stats.throughput_flits_per_cycle;
   state.counters["cycles"] = static_cast<double>(cycles);
+  const double iterations = static_cast<double>(state.iterations());
+  const double ns_per_cycle =
+      cycles == 0 ? 0
+                  : run_seconds * 1e9 / iterations /
+                        static_cast<double>(cycles);
+  state.counters["ns_per_cycle"] = ns_per_cycle;
+  state.counters["active_channels"] = active_channels;
+  state.counters["ns_per_active_channel_cycle"] =
+      active_channels > 0 ? ns_per_cycle / active_channels : 0;
 }
 
 // Offered-load sweep: rate in millionths per node per cycle.
@@ -71,6 +96,21 @@ void BM_Mesh_DorUniform(benchmark::State& state) {
                static_cast<double>(state.range(0)) * 1e-6);
 }
 BENCHMARK(BM_Mesh_DorUniform)
+    ->Arg(1000)->Arg(3000)->Arg(6000)->Arg(10000)->Arg(15000)
+    ->Unit(benchmark::kMillisecond);
+
+// The same sweep under the event-driven core. Identical workloads, identical
+// deterministic outputs (the parity suite proves it); the interesting delta
+// is ns_per_active_channel_cycle — the event core's advantage shrinks as
+// offered load fills the network and the idle cycles it skips disappear.
+void BM_Mesh_DorUniformEvent(benchmark::State& state) {
+  const topo::Grid grid = topo::make_mesh({8, 8});
+  const routing::DimensionOrderMesh dor(grid);
+  run_workload(state, dor, grid, sim::TrafficPattern::kUniformRandom,
+               static_cast<double>(state.range(0)) * 1e-6,
+               sim::SimCore::kEvent);
+}
+BENCHMARK(BM_Mesh_DorUniformEvent)
     ->Arg(1000)->Arg(3000)->Arg(6000)->Arg(10000)->Arg(15000)
     ->Unit(benchmark::kMillisecond);
 

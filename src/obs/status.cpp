@@ -42,6 +42,23 @@ void append_search(std::string& out, const SearchStatus& s) {
   out += "}";
 }
 
+void append_sim(std::string& out, const SimStatus& s) {
+  out += "{\"active\":";
+  out += s.active ? "true" : "false";
+  out += ",\"core\":" + json::quote(s.core);
+  out += ",\"cycles_executed\":" + json::number_u64(s.cycles_executed);
+  out += ",\"cycles_skipped\":" + json::number_u64(s.cycles_skipped);
+  out += ",\"events_scheduled\":" + json::number_u64(s.events_scheduled);
+  out += ",\"events_fired\":" + json::number_u64(s.events_fired);
+  out += ",\"events_cancelled\":" + json::number_u64(s.events_cancelled);
+  out += ",\"queue_peak\":" + json::number_u64(s.queue_peak);
+  out += ",\"messages_total\":" + json::number_u64(s.messages_total);
+  out += ",\"messages_consumed\":" + json::number_u64(s.messages_consumed);
+  out += ",\"busy_channel_fraction\":" +
+         json::number(s.busy_channel_fraction);
+  out += "}";
+}
+
 void append_worker(std::string& out, const WorkerStatus& w) {
   out += "{\"done\":" + json::number_u64(w.done);
   out += ",\"agree\":" + json::number_u64(w.agree);
@@ -62,7 +79,7 @@ void append_worker(std::string& out, const WorkerStatus& w) {
 }  // namespace
 
 std::string StatusSnapshot::to_json() const {
-  std::string out = "{\"schema\":\"wormsim-status-v1\"";
+  std::string out = "{\"schema\":\"wormsim-status-v2\"";
   out += ",\"kind\":" + json::quote(kind);
   out += ",\"seq\":" + json::number_u64(seq);
   out += ",\"pid\":" + json::number_u64(pid);
@@ -85,7 +102,9 @@ std::string StatusSnapshot::to_json() const {
   out += ",\"memo_hits\":" + json::number_u64(truth_memo_hits);
   out += ",\"misses\":" + json::number_u64(truth_misses);
   out += ",\"hit_rate\":" + json::number(truth_hit_rate);
-  out += "},\"search\":";
+  out += "},\"sim\":";
+  append_sim(out, sim);
+  out += ",\"search\":";
   append_search(out, search);
   out += ",\"workers\":[";
   for (std::size_t i = 0; i < workers.size(); ++i) {

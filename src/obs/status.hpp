@@ -22,7 +22,7 @@
 //     the sampler writes one final snapshot with running=false, so a
 //     finished run always leaves a complete heartbeat behind.
 //
-// The snapshot schema is versioned ("wormsim-status-v1") and documented
+// The snapshot schema is versioned ("wormsim-status-v2") and documented
 // field-by-field in docs/observability.md; tests pin the two against each
 // other. Producers must be thread-safe: the callback runs on the sampler
 // thread while the run's workers are mutating the counters it reads.
@@ -87,6 +87,25 @@ struct WorkerStatus {
   double branch_p99 = 0;
 };
 
+/// What a simulator-driven run (saturation sweep, throughput bench) is
+/// doing right now: counters mirrored from WormholeSimulator::event_stats()
+/// plus message progress. All-zero when the run drives no simulator (a
+/// search/campaign heartbeat) or the cycle core is in use and has nothing
+/// to report.
+struct SimStatus {
+  bool active = false;   ///< a simulation is attached and running
+  std::string core = "cycle";  ///< "cycle" or "event"
+  std::uint64_t cycles_executed = 0;
+  std::uint64_t cycles_skipped = 0;  ///< idle cycles the event core jumped
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_fired = 0;
+  std::uint64_t events_cancelled = 0;
+  std::uint64_t queue_peak = 0;
+  std::uint64_t messages_total = 0;
+  std::uint64_t messages_consumed = 0;
+  double busy_channel_fraction = 0;  ///< busy channel-cycles / total
+};
+
 /// One heartbeat. Everything is emitted on every write (fields never come
 /// and go), in a fixed key order, so the schema is byte-stable.
 struct StatusSnapshot {
@@ -114,10 +133,11 @@ struct StatusSnapshot {
   std::uint64_t truth_misses = 0;
   double truth_hit_rate = 0;
 
+  SimStatus sim;
   SearchStatus search;
   std::vector<WorkerStatus> workers;
 
-  /// Serializes as the documented "wormsim-status-v1" JSON object. u64
+  /// Serializes as the documented "wormsim-status-v2" JSON object. u64
   /// fields are emitted exactly (json::number_u64), never through doubles.
   [[nodiscard]] std::string to_json() const;
 };

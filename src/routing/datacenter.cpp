@@ -1,0 +1,147 @@
+#include "routing/datacenter.hpp"
+
+namespace wormsim::routing {
+
+namespace {
+
+ChannelId must_find(const topo::Network& net, NodeId src, NodeId dst,
+                    std::uint16_t lane = 0) {
+  const auto c = net.find_channel(src, dst, lane);
+  WORMSIM_EXPECTS_MSG(c.has_value(), "datacenter fabric missing a link");
+  return *c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FatTreeUpDown
+// ---------------------------------------------------------------------------
+
+FatTreeUpDown::FatTreeUpDown(const topo::FatTree& tree)
+    : RoutingAlgorithm(tree.net()), tree_(&tree) {}
+
+bool FatTreeUpDown::routes(NodeId src, NodeId dst) const {
+  return src != dst && tree_->is_host(src) && tree_->is_host(dst);
+}
+
+ChannelId FatTreeUpDown::initial_channel(NodeId src, NodeId dst) const {
+  WORMSIM_EXPECTS(routes(src, dst));
+  return hop(src, dst);
+}
+
+ChannelId FatTreeUpDown::next_channel(ChannelId in, NodeId dst) const {
+  return hop(net().channel(in).dst, dst);
+}
+
+ChannelId FatTreeUpDown::hop(NodeId at, NodeId dst) const {
+  using Role = topo::FatTree::Role;
+  const topo::FatTree& t = *tree_;
+  const int half = t.radix_half();
+  const std::size_t d = dst.index();
+  const int dst_pod = t.pod_of(dst);
+  const int dst_edge = static_cast<int>(
+      (d % (static_cast<std::size_t>(half) * half)) / half);
+
+  switch (t.role(at)) {
+    case Role::kHost:
+      // The only hop from a host is its up-link to the edge switch.
+      return net().channels_from(at)[0];
+    case Role::kEdge: {
+      const int pod = t.pod_of(at);
+      if (pod == dst_pod && t.switch_index(at) == dst_edge)
+        return must_find(net(), at, dst);  // down to the host
+      const int up = static_cast<int>(d) % half;  // D-mod-k column choice
+      return must_find(net(), at, t.agg_switch(pod, up));
+    }
+    case Role::kAggregation: {
+      const int pod = t.pod_of(at);
+      if (pod == dst_pod)
+        return must_find(net(), at, t.edge_switch(pod, dst_edge));
+      const int a = t.switch_index(at);
+      const int core = a * half + (static_cast<int>(d) / half) % half;
+      return must_find(net(), at, t.core_switch(core));
+    }
+    case Role::kCore: {
+      const int a = t.switch_index(at) / half;
+      return must_find(net(), at, t.agg_switch(dst_pod, a));
+    }
+  }
+  WORMSIM_UNREACHABLE("bad fat-tree role");
+}
+
+// ---------------------------------------------------------------------------
+// DragonflyMinimal
+// ---------------------------------------------------------------------------
+
+DragonflyMinimal::DragonflyMinimal(const topo::Dragonfly& fabric)
+    : RoutingAlgorithm(fabric.net()), fabric_(&fabric) {}
+
+bool DragonflyMinimal::routes(NodeId src, NodeId dst) const {
+  return src != dst && fabric_->is_terminal(src) && fabric_->is_terminal(dst);
+}
+
+ChannelId DragonflyMinimal::initial_channel(NodeId src, NodeId dst) const {
+  WORMSIM_EXPECTS(routes(src, dst));
+  // Terminal up-link: the terminal's only outgoing channel.
+  return net().channels_from(src)[0];
+}
+
+ChannelId DragonflyMinimal::next_channel(ChannelId in, NodeId dst) const {
+  const topo::Dragonfly& f = *fabric_;
+  const topo::DragonflySpec& s = f.spec();
+  const NodeId at = net().channel(in).dst;
+  WORMSIM_EXPECTS_MSG(!f.is_terminal(at),
+                      "a header at a terminal is consumed, not routed");
+
+  const std::size_t d = dst.index();
+  const std::size_t per_group = static_cast<std::size_t>(
+      s.routers_per_group * s.terminals_per_router);
+  const int dst_group = static_cast<int>(d / per_group);
+  const int dst_router = static_cast<int>(d % per_group) /
+                         s.terminals_per_router;
+  const int group = f.group_of_router(at);
+
+  if (group == dst_group) {
+    if (f.index_of_router(at) == dst_router)
+      return must_find(net(), at, dst);  // down to the terminal
+    // Post-global local hops ride lane 1; pre-global and purely local
+    // traffic rides lane 0. The input channel tells the two apart: only a
+    // global link arrives from a router of another group.
+    const NodeId from = net().channel(in).src;
+    const bool after_global =
+        !f.is_terminal(from) && f.group_of_router(from) != group;
+    return must_find(net(), at, f.router(group, dst_router),
+                     after_global ? 1 : 0);
+  }
+
+  const NodeId gw = f.gateway(group, dst_group);
+  if (at == gw) {
+    // The global link lands on the destination group's gateway toward us.
+    return must_find(net(), at, f.gateway(dst_group, group));
+  }
+  return must_find(net(), at, gw, 0);
+}
+
+// ---------------------------------------------------------------------------
+// CompleteDirect
+// ---------------------------------------------------------------------------
+
+CompleteDirect::CompleteDirect(const topo::Network& net)
+    : RoutingAlgorithm(net) {}
+
+bool CompleteDirect::routes(NodeId src, NodeId dst) const {
+  return src != dst && net().find_channel(src, dst).has_value();
+}
+
+ChannelId CompleteDirect::initial_channel(NodeId src, NodeId dst) const {
+  WORMSIM_EXPECTS(routes(src, dst));
+  return must_find(net(), src, dst);
+}
+
+ChannelId CompleteDirect::next_channel(ChannelId in, NodeId dst) const {
+  // Unreachable on a complete graph (every route is one hop), but total so
+  // trace_path and the CDG builder can probe it safely.
+  return must_find(net(), net().channel(in).dst, dst);
+}
+
+}  // namespace wormsim::routing

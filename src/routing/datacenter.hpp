@@ -1,0 +1,78 @@
+// Oblivious routing on the datacenter fabrics (topo/datacenter.hpp).
+//
+// All three algorithms route terminal-to-terminal only (routes() is false
+// when either endpoint is a switch) and all three have acyclic channel
+// dependency graphs, each by a channel-ordering argument stated at the
+// class. They are the deadlock-free contrast class at datacenter scale,
+// mirroring what dor.hpp provides on grids.
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topo/datacenter.hpp"
+
+namespace wormsim::routing {
+
+/// Destination-mod-k up/down routing on a k-ary fat-tree. The upward path
+/// is a pure function of the destination host id d: the edge switch sends
+/// up to aggregation switch d mod (k/2), which sends up to the
+/// (d / (k/2)) mod (k/2)-th core of its column; the downward path is the
+/// unique tree descent to d. Every route climbs monotonically (host, edge,
+/// aggregation, core) then descends monotonically, so channel level order
+/// up-host < up-edge < up-agg < down-core < down-agg < down-edge strictly
+/// increases along every route and the CDG is acyclic.
+class FatTreeUpDown final : public RoutingAlgorithm {
+ public:
+  explicit FatTreeUpDown(const topo::FatTree& tree);
+
+  [[nodiscard]] std::string name() const override { return "fattree-updown"; }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] ChannelId initial_channel(NodeId src,
+                                          NodeId dst) const override;
+  [[nodiscard]] ChannelId next_channel(ChannelId in, NodeId dst) const override;
+
+ private:
+  [[nodiscard]] ChannelId hop(NodeId at, NodeId dst) const;
+  const topo::FatTree* tree_;
+};
+
+/// Minimal local-global-local dragonfly routing: up to one local hop to the
+/// source group's gateway router, the single global link toward the
+/// destination group, up to one local hop to the destination router. Local
+/// hops before the global traversal (and all intra-group traffic) use local
+/// lane 0; the post-global local hop uses lane 1, so
+/// terminal-up < local0 < global < local1 < terminal-down strictly
+/// increases along every route and the CDG is acyclic — the standard
+/// virtual-channel discipline for minimal dragonfly routing.
+class DragonflyMinimal final : public RoutingAlgorithm {
+ public:
+  explicit DragonflyMinimal(const topo::Dragonfly& fabric);
+
+  [[nodiscard]] std::string name() const override {
+    return "dragonfly-minimal";
+  }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] ChannelId initial_channel(NodeId src,
+                                          NodeId dst) const override;
+  [[nodiscard]] ChannelId next_channel(ChannelId in, NodeId dst) const override;
+
+ private:
+  const topo::Dragonfly* fabric_;
+};
+
+/// Direct routing on a complete graph (topo::make_complete): every message
+/// takes the single src -> dst channel. One hop, so no route ever holds a
+/// channel while requesting another and the CDG has no edges at all — the
+/// full-mesh-without-virtual-channels configuration studied by the related
+/// HOTI work.
+class CompleteDirect final : public RoutingAlgorithm {
+ public:
+  explicit CompleteDirect(const topo::Network& net);
+
+  [[nodiscard]] std::string name() const override { return "full-mesh-direct"; }
+  [[nodiscard]] bool routes(NodeId src, NodeId dst) const override;
+  [[nodiscard]] ChannelId initial_channel(NodeId src,
+                                          NodeId dst) const override;
+  [[nodiscard]] ChannelId next_channel(ChannelId in, NodeId dst) const override;
+};
+
+}  // namespace wormsim::routing

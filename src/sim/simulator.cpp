@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <queue>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
 
 #include "util/log.hpp"
 
@@ -113,6 +115,8 @@ void WormholeSimulator::note_exit(MessageId id, MessageState& m,
     ChannelState& ch = channels_[m.path[m.released].index()];
     WORMSIM_ASSERT(ch.count == 0);
     ch.owner = MessageId::invalid();
+    ch.busy_cycles += cycle_ - ch.acquired_cycle;
+    if (sched_.p != nullptr) report_freed(m.path[m.released]);
     if (tracing())
       trace_event(make_event(obs::TraceEventKind::kChannelRelease, id,
                              m.path[m.released]));
@@ -125,7 +129,8 @@ void WormholeSimulator::acquire(MessageId id, MessageState& m, ChannelId c) {
   WORMSIM_ASSERT(!ch.owner.valid() && ch.count == 0);
   ch.owner = id;
   ch.count = 1;
-  ch.transmitted = true;
+  ch.entered_cycle = cycle_;
+  ch.acquired_cycle = cycle_;
   if (instruments_.registry != nullptr && m.waiting)
     instruments_.arb_wait->observe(
         static_cast<double>(cycle_ - m.waiting_since));
@@ -139,64 +144,58 @@ void WormholeSimulator::acquire(MessageId id, MessageState& m, ChannelId c) {
     trace_event(make_event(obs::TraceEventKind::kChannelAcquire, id, c));
 }
 
+WormholeSimulator::RequestOutcome WormholeSimulator::request_message(
+    std::size_t i) {
+  MessageState& m = messages_[i];
+  if (m.status == MessageStatus::kDelivered ||
+      m.status == MessageStatus::kConsumed)
+    return RequestOutcome::kIdle;
+  if (m.status == MessageStatus::kPending && cycle_ < m.spec.release_time)
+    return RequestOutcome::kNotReleased;
+  std::vector<ChannelId>& wants = wants_scratch_;
+  desired_channels_into(m, wants);
+  if (wants.empty())
+    return RequestOutcome::kAtDestination;  // consume, don't route
+  const std::size_t hop = m.path.size();
+  if (tick_stall(m, hop)) return RequestOutcome::kStalled;
+  if (!m.waiting) {
+    m.waiting = true;
+    m.waiting_since = cycle_;
+  }
+  bool any_free = false;
+  for (const ChannelId want : wants)
+    if (!channels_[want.index()].owner.valid()) {
+      any_free = true;
+      requests_.v.push_back(
+          ChannelRequest{MessageId{i}, want, m.waiting_since});
+    }
+  if (any_free) return RequestOutcome::kRequested;
+  if (tracing())
+    trace_event(make_event(obs::TraceEventKind::kBlocked, MessageId{i},
+                           wants.front()));
+  return RequestOutcome::kAllBusy;
+}
+
 bool WormholeSimulator::compute_requests() {
   ++cycle_;
   refresh_trace_armed();  // pick up runtime log-level changes
   bool progress = false;
-
-  for (ChannelState& ch : channels_) {
-    ch.transmitted = false;
-    if (ch.owner.valid()) ++ch.busy_cycles;
-  }
-
   requests_.v.clear();
-  std::vector<ChannelId>& wants = wants_scratch_;
   for (std::size_t i = 0; i < messages_.size(); ++i) {
-    MessageState& m = messages_[i];
-    if (m.status == MessageStatus::kDelivered ||
-        m.status == MessageStatus::kConsumed)
-      continue;
-    if (m.status == MessageStatus::kPending &&
-        cycle_ < m.spec.release_time) {
-      // Not yet released; the passage of time toward the release counts as
-      // pending progress so quiescence is not declared prematurely.
+    const RequestOutcome outcome = request_message(i);
+    // Time passing toward a release, and adversarial stall ticking, count
+    // as progress so quiescence is not declared prematurely.
+    if (outcome == RequestOutcome::kNotReleased ||
+        outcome == RequestOutcome::kStalled)
       progress = true;
-      continue;
-    }
-    desired_channels_into(m, wants);
-    if (wants.empty()) continue;  // header at destination; consumed below
-    const std::size_t hop = m.path.size();
-    if (tick_stall(m, hop)) {
-      progress = true;  // adversarial stall ticking
-      continue;
-    }
-    if (!m.waiting) {
-      m.waiting = true;
-      m.waiting_since = cycle_;
-    }
-    bool any_free = false;
-    for (const ChannelId want : wants)
-      if (!channels_[want.index()].owner.valid()) {
-        any_free = true;
-        requests_.v.push_back(
-            ChannelRequest{MessageId{i}, want, m.waiting_since});
-      }
-    if (!any_free && tracing())
-      trace_event(make_event(obs::TraceEventKind::kBlocked, MessageId{i},
-                             wants.front()));
   }
   return progress;
 }
 
-bool WormholeSimulator::step() {
-  WORMSIM_EXPECTS_MSG(policy_ != nullptr,
-                      "step() requires an arbitration policy");
-  bool progress = compute_requests();
-
+void WormholeSimulator::arbitrate_requests() {
   // Arbitration: one winner per contested channel; a message that has
   // already won a channel this cycle (adaptive multi-candidate requests)
   // is skipped and the surplus channel stays idle for this cycle.
-  std::vector<ChannelId> granted(messages_.size(), ChannelId::invalid());
   std::unordered_map<std::uint32_t, std::vector<ChannelRequest>> by_channel;
   for (const ChannelRequest& r : requests_.v)
     by_channel[r.channel.value()].push_back(r);
@@ -210,7 +209,7 @@ bool WormholeSimulator::step() {
     // Drop requesters that already won another channel this cycle.
     reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
                               [&](const ChannelRequest& r) {
-                                return granted[r.message.index()].valid();
+                                return grant_of(r.message.index()).valid();
                               }),
                reqs.end());
     if (reqs.empty()) continue;
@@ -219,10 +218,17 @@ bool WormholeSimulator::step() {
                                [&](const ChannelRequest& r) {
                                  return r.message == winner;
                                }));
-    granted[winner.index()] = ChannelId{chan};
+    set_grant(winner.index(), ChannelId{chan});
   }
+}
 
-  if (execute_moves(granted)) progress = true;
+bool WormholeSimulator::step() {
+  WORMSIM_EXPECTS_MSG(policy_ != nullptr,
+                      "step() requires an arbitration policy");
+  bool progress = compute_requests();
+  ensure_grant_capacity();
+  arbitrate_requests();
+  if (execute_moves()) progress = true;
   if (config_.check_invariants) check_invariants();
   return progress;
 }
@@ -281,8 +287,7 @@ std::vector<MessageRequests> WormholeSimulator::peek_requests() const {
 bool WormholeSimulator::step_with_grants(
     std::span<const std::pair<ChannelId, MessageId>> grants) {
   bool progress = compute_requests();
-
-  std::vector<ChannelId> granted(messages_.size(), ChannelId::invalid());
+  ensure_grant_capacity();
   for (std::size_t gi = 0; gi < grants.size(); ++gi) {
     const auto& [channel, winner] = grants[gi];
     const bool is_request = std::any_of(
@@ -290,17 +295,17 @@ bool WormholeSimulator::step_with_grants(
           return r.channel == channel && r.message == winner;
         });
     WORMSIM_EXPECTS_MSG(is_request, "grant does not match any request");
-    WORMSIM_EXPECTS_MSG(!granted[winner.index()].valid(),
+    WORMSIM_EXPECTS_MSG(!grant_of(winner.index()).valid(),
                         "message granted two channels in one cycle");
     // Quadratic duplicate scan: grant lists are at most one per message,
     // so this beats any per-call hash container on the search hot path.
     for (std::size_t gj = 0; gj < gi; ++gj)
       WORMSIM_EXPECTS_MSG(grants[gj].first != channel,
                           "channel granted to two messages in one cycle");
-    granted[winner.index()] = channel;
+    set_grant(winner.index(), channel);
   }
 
-  if (execute_moves(granted)) progress = true;
+  if (execute_moves()) progress = true;
   if (config_.check_invariants) check_invariants();
   return progress;
 }
@@ -312,10 +317,10 @@ bool WormholeSimulator::step_with_grants_trusted(
   // release_time == 0 and no hop stalls — asserted below — the checked
   // step's extra progress sources (pending release gating, stall ticking)
   // can never fire, and the remaining compute_requests work (request list,
-  // waiting flags, busy-cycle counters) feeds only policy arbitration and
-  // metrics, neither of which the search reads. What must still happen per
-  // cycle: the clock advance (delivery stats) and the per-channel
-  // transmitted reset that gates one flit per channel in execute_moves.
+  // waiting flags) feeds only policy arbitration and metrics, neither of
+  // which the search reads. The cycle-stamped grant table and per-channel
+  // transmitted stamp mean no per-cycle reset is needed at all; only the
+  // clock advance (delivery stats) remains.
 #ifndef NDEBUG
   for (const MessageState& m : messages_) {
     WORMSIM_ASSERT(m.spec.release_time == 0);
@@ -323,13 +328,12 @@ bool WormholeSimulator::step_with_grants_trusted(
   }
 #endif
   ++cycle_;
-  for (ChannelState& ch : channels_) ch.transmitted = false;
-  granted_scratch_.assign(messages_.size(), ChannelId::invalid());
+  ensure_grant_capacity();
   for (const auto& [channel, winner] : grants) {
-    WORMSIM_ASSERT(!granted_scratch_[winner.index()].valid());
-    granted_scratch_[winner.index()] = channel;
+    WORMSIM_ASSERT(!grant_of(winner.index()).valid());
+    set_grant(winner.index(), channel);
   }
-  const bool progress = execute_moves(granted_scratch_);
+  const bool progress = execute_moves();
   if (config_.check_invariants) check_invariants();
   return progress;
 }
@@ -484,137 +488,153 @@ void WormholeSimulator::refresh_state_key() const {
     append_key_segment(i);
 }
 
-bool WormholeSimulator::execute_moves(const std::vector<ChannelId>& granted) {
+bool WormholeSimulator::execute_moves() {
   bool progress = false;
-  for (std::size_t i = 0; i < messages_.size(); ++i) {
-    MessageState& m = messages_[i];
-    const MessageId id{i};
-    if (m.status == MessageStatus::kConsumed) continue;
-    // For the incremental state key: every key-relevant mutation below
-    // happens to message i or to a channel in path[old_released, size()),
-    // so one touch sweep at the end of the block covers them all.
-    const std::size_t old_released = m.released;
-    bool moved = false;
-
-    // Front operation: consume at destination, advance header, or inject.
-    if (m.status == MessageStatus::kMoving) {
-      const ChannelId leading = m.path.back();
-      if (alg_->net().channel(leading).dst == m.spec.dst) {
-        // Header consumed by the destination node (Assumption 2).
-        ChannelState& ch = channels_[leading.index()];
-        WORMSIM_ASSERT(ch.count > 0);
-        --ch.count;
-        m.flits_consumed = 1;
-        m.status = m.spec.length == 1 ? MessageStatus::kConsumed
-                                      : MessageStatus::kDelivered;
-        m.stats.deliver_cycle = cycle_;
-        if (instruments_.registry != nullptr) {
-          instruments_.latency->observe(
-              static_cast<double>(cycle_ - m.stats.inject_cycle));
-          instruments_.hops->observe(static_cast<double>(m.stats.hops));
-        }
-        if (m.status == MessageStatus::kConsumed) {
-          m.stats.consume_cycle = cycle_;
-          if (instruments_.registry != nullptr)
-            instruments_.consumed->inc();
-        }
-        note_exit(id, m, m.path.size() - 1);
-        if (tracing()) {
-          obs::TraceEvent event =
-              make_event(obs::TraceEventKind::kDelivered, id, leading);
-          event.node = m.spec.dst;
-          trace_event(event);
-          if (m.status == MessageStatus::kConsumed)
-            trace_event(make_event(obs::TraceEventKind::kConsumed, id,
-                                   ChannelId::invalid()));
-        }
-        moved = true;
-      } else if (granted[i].valid()) {
-        const ChannelId next = granted[i];
-        ChannelState& prev = channels_[m.path.back().index()];
-        WORMSIM_ASSERT(prev.count > 0);
-        --prev.count;
-        const std::size_t prev_index = m.path.size() - 1;
-        acquire(id, m, next);
-        note_exit(id, m, prev_index);
-        if (tracing())
-          trace_event(
-              make_event(obs::TraceEventKind::kHeaderAdvance, id, next));
-        moved = true;
-      }
-    } else if (m.status == MessageStatus::kPending && granted[i].valid()) {
-      const ChannelId first = granted[i];
-      acquire(id, m, first);
-      m.flits_injected = 1;
-      m.status = MessageStatus::kMoving;
-      m.stats.inject_cycle = cycle_;
-      if (instruments_.registry != nullptr) instruments_.injected->inc();
-      if (tracing())
-        trace_event(make_event(obs::TraceEventKind::kInject, id, first));
-      moved = true;
-    } else if (m.status == MessageStatus::kDelivered) {
-      ChannelState& ch = channels_[m.path.back().index()];
-      if (ch.count > 0) {
-        --ch.count;
-        ++m.flits_consumed;
-        note_exit(id, m, m.path.size() - 1);
-        moved = true;
-        if (m.flits_consumed == m.spec.length) {
-          m.status = MessageStatus::kConsumed;
-          m.stats.consume_cycle = cycle_;
-          if (instruments_.registry != nullptr)
-            instruments_.consumed->inc();
-          if (tracing())
-            trace_event(make_event(obs::TraceEventKind::kConsumed, id,
-                                   ChannelId::invalid()));
-        }
-      }
-    }
-
-    if (m.path.empty()) continue;
-
-    // Data-flit shifts, downstream-first so a worm pipelines in lockstep.
-    if (m.path.size() >= 2) {
-      for (std::size_t j = m.path.size() - 1; j > m.released; --j) {
-        ChannelState& from = channels_[m.path[j - 1].index()];
-        ChannelState& to = channels_[m.path[j].index()];
-        if (from.count == 0) continue;
-        if (to.count >= config_.buffer_depth || to.transmitted) continue;
-        --from.count;
-        ++to.count;
-        to.transmitted = true;
-        note_exit(id, m, j - 1);
-        ++flits_moved_;
-        moved = true;
-      }
-    }
-
-    // Inject remaining body flits into the first path channel.
-    if (m.flits_injected > 0 && m.flits_injected < m.spec.length) {
-      WORMSIM_ASSERT(m.released == 0);  // first channel can't drain early
-      ChannelState& first = channels_[m.path.front().index()];
-      if (first.count < config_.buffer_depth && !first.transmitted) {
-        ++first.count;
-        first.transmitted = true;
-        ++m.flits_injected;
-        ++flits_moved_;
-        moved = true;
-      }
-    }
-
-    if (moved) {
-      progress = true;
-      touch_message(i);
-      // Channel slots that can have changed: the active suffix as of the
-      // start of this block (releases this cycle start at old_released).
-      for (std::size_t j = old_released; j < m.path.size(); ++j)
-        touch_channel(m.path[j]);
-    }
-  }
+  for (std::size_t i = 0; i < messages_.size(); ++i)
+    if (move_message(i)) progress = true;
   return progress;
 }
 
+bool WormholeSimulator::move_message(std::size_t i) {
+  MessageState& m = messages_[i];
+  const MessageId id{i};
+  if (m.status == MessageStatus::kConsumed) return false;
+  // For the incremental state key: every key-relevant mutation below
+  // happens to message i or to a channel in path[old_released, size()),
+  // so one touch sweep at the end of the block covers them all.
+  const std::size_t old_released = m.released;
+  bool moved = false;
+
+  // Front operation: consume at destination, advance header, or inject.
+  if (m.status == MessageStatus::kMoving) {
+    const ChannelId leading = m.path.back();
+    if (alg_->net().channel(leading).dst == m.spec.dst) {
+      // Header consumed by the destination node (Assumption 2).
+      ChannelState& ch = channels_[leading.index()];
+      WORMSIM_ASSERT(ch.count > 0);
+      --ch.count;
+      m.flits_consumed = 1;
+      m.status = m.spec.length == 1 ? MessageStatus::kConsumed
+                                    : MessageStatus::kDelivered;
+      m.stats.deliver_cycle = cycle_;
+      if (instruments_.registry != nullptr) {
+        instruments_.latency->observe(
+            static_cast<double>(cycle_ - m.stats.inject_cycle));
+        instruments_.hops->observe(static_cast<double>(m.stats.hops));
+      }
+      if (m.status == MessageStatus::kConsumed) {
+        m.stats.consume_cycle = cycle_;
+        if (instruments_.registry != nullptr)
+          instruments_.consumed->inc();
+      }
+      note_exit(id, m, m.path.size() - 1);
+      if (tracing()) {
+        obs::TraceEvent event =
+            make_event(obs::TraceEventKind::kDelivered, id, leading);
+        event.node = m.spec.dst;
+        trace_event(event);
+        if (m.status == MessageStatus::kConsumed)
+          trace_event(make_event(obs::TraceEventKind::kConsumed, id,
+                                 ChannelId::invalid()));
+      }
+      moved = true;
+    } else if (grant_of(i).valid()) {
+      const ChannelId next = grant_of(i);
+      ChannelState& prev = channels_[m.path.back().index()];
+      WORMSIM_ASSERT(prev.count > 0);
+      --prev.count;
+      const std::size_t prev_index = m.path.size() - 1;
+      acquire(id, m, next);
+      note_exit(id, m, prev_index);
+      if (tracing())
+        trace_event(
+            make_event(obs::TraceEventKind::kHeaderAdvance, id, next));
+      moved = true;
+    }
+  } else if (m.status == MessageStatus::kPending && grant_of(i).valid()) {
+    const ChannelId first = grant_of(i);
+    acquire(id, m, first);
+    m.flits_injected = 1;
+    m.status = MessageStatus::kMoving;
+    m.stats.inject_cycle = cycle_;
+    if (instruments_.registry != nullptr) instruments_.injected->inc();
+    if (tracing())
+      trace_event(make_event(obs::TraceEventKind::kInject, id, first));
+    moved = true;
+  } else if (m.status == MessageStatus::kDelivered) {
+    ChannelState& ch = channels_[m.path.back().index()];
+    if (ch.count > 0) {
+      --ch.count;
+      ++m.flits_consumed;
+      note_exit(id, m, m.path.size() - 1);
+      moved = true;
+      if (m.flits_consumed == m.spec.length) {
+        m.status = MessageStatus::kConsumed;
+        m.stats.consume_cycle = cycle_;
+        if (instruments_.registry != nullptr)
+          instruments_.consumed->inc();
+        if (tracing())
+          trace_event(make_event(obs::TraceEventKind::kConsumed, id,
+                                 ChannelId::invalid()));
+      }
+    }
+  }
+
+  if (m.path.empty()) return moved;
+
+  // Data-flit shifts, downstream-first so a worm pipelines in lockstep.
+  if (m.path.size() >= 2) {
+    for (std::size_t j = m.path.size() - 1; j > m.released; --j) {
+      ChannelState& from = channels_[m.path[j - 1].index()];
+      ChannelState& to = channels_[m.path[j].index()];
+      if (from.count == 0) continue;
+      if (to.count >= config_.buffer_depth || transmitted(to)) continue;
+      --from.count;
+      ++to.count;
+      to.entered_cycle = cycle_;
+      note_exit(id, m, j - 1);
+      ++flits_moved_;
+      moved = true;
+    }
+  }
+
+  // Inject remaining body flits into the first path channel.
+  if (m.flits_injected > 0 && m.flits_injected < m.spec.length) {
+    WORMSIM_ASSERT(m.released == 0);  // first channel can't drain early
+    ChannelState& first = channels_[m.path.front().index()];
+    if (first.count < config_.buffer_depth && !transmitted(first)) {
+      ++first.count;
+      first.entered_cycle = cycle_;
+      ++m.flits_injected;
+      ++flits_moved_;
+      moved = true;
+    }
+  }
+
+  if (moved) {
+    touch_message(i);
+    // Channel slots that can have changed: the active suffix as of the
+    // start of this block (releases this cycle start at old_released).
+    for (std::size_t j = old_released; j < m.path.size(); ++j)
+      touch_channel(m.path[j]);
+  }
+  return moved;
+}
+
 RunResult WormholeSimulator::run() {
+  return config_.core == SimCore::kEvent ? run_event() : run_cycle();
+}
+
+void WormholeSimulator::fill_deadlock_result(RunResult& result) {
+  // Quiescent with unfinished messages: frozen forever => deadlock.
+  result.outcome = RunOutcome::kDeadlock;
+  result.cycles = cycle_;
+  const auto occ = occupancy();
+  result.deadlock_cycle =
+      find_wait_cycle(occ, [this](ChannelId c) { return channel_owner(c); });
+}
+
+RunResult WormholeSimulator::run_cycle() {
   RunResult result;
   while (cycle_ < config_.max_cycles) {
     const bool progress = step();
@@ -628,17 +648,260 @@ RunResult WormholeSimulator::run() {
       return result;
     }
     if (!progress) {
-      // Quiescent with unfinished messages: frozen forever => deadlock.
-      result.outcome = RunOutcome::kDeadlock;
-      result.cycles = cycle_;
-      const auto occ = occupancy();
-      result.deadlock_cycle = find_wait_cycle(
-          occ, [this](ChannelId c) { return channel_owner(c); });
+      fill_deadlock_result(result);
       return result;
     }
   }
   result.outcome = RunOutcome::kHorizon;
   result.cycles = cycle_;
+  return result;
+}
+
+/// run_event()'s scheduler. Three queues, all message-granular:
+///   - ready: messages to process in the next executed cycle (every entry
+///     is stamped with that cycle so duplicates collapse);
+///   - timers: (wake cycle, message) min-heap for pending releases and
+///     per-hop stall expirations;
+///   - waiters: per-channel subscription lists for headers whose every
+///     candidate channel is owned; a release wakes the subscribers.
+/// Dormancy is sound because a message that made no move in a cycle and
+/// raised no request cannot move again until a wanted channel frees (its
+/// own shift/injection preconditions are unchanged — nobody else can touch
+/// channels it owns), and parked headers are exactly those messages.
+struct WormholeSimulator::EventScheduler {
+  using Wake = std::pair<Cycle, std::uint32_t>;
+  std::vector<std::uint32_t> ready;   ///< accumulates the next cycle's work
+  std::vector<Cycle> ready_stamp;     ///< cycle each message is queued for
+  std::priority_queue<Wake, std::vector<Wake>, std::greater<Wake>> timers;
+  std::vector<std::vector<std::uint32_t>> waiters;  ///< per channel
+  std::vector<std::uint8_t> subscribed;             ///< per message
+  std::uint64_t parked = 0;   ///< messages currently subscribed
+  std::vector<ChannelId> freed;  ///< channels released this cycle
+};
+
+void WormholeSimulator::report_freed(ChannelId c) {
+  sched_.p->freed.push_back(c);
+}
+
+RunResult WormholeSimulator::run_event() {
+  WORMSIM_EXPECTS_MSG(policy_ != nullptr,
+                      "run() requires an arbitration policy");
+  RunResult result;
+  EventScheduler sched;
+  sched.waiters.resize(channels_.size());
+  sched.ready_stamp.assign(messages_.size(), 0);
+  sched.subscribed.assign(messages_.size(), 0);
+  sched_.p = &sched;
+  ensure_grant_capacity();
+  EventCoreStats& st = event_stats_;
+
+  // Queue an entry for `at`, the next cycle that will execute; the stamp
+  // collapses duplicate wake-ups (timer + stay-ready, multiple releases).
+  const auto push_ready = [&](std::uint32_t m, Cycle at) {
+    if (sched.ready_stamp[m] == at) return;
+    sched.ready_stamp[m] = at;
+    sched.ready.push_back(m);
+    ++st.events_scheduled;
+  };
+
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < messages_.size(); ++i)
+    if (messages_[i].status != MessageStatus::kConsumed) {
+      ++live;
+      // Everything starts ready; the first request phase parks future
+      // releases in the timer heap where they stop costing per cycle.
+      push_ready(static_cast<std::uint32_t>(i), cycle_ + 1);
+    }
+
+  const Cycle max = config_.max_cycles;
+  std::vector<std::uint32_t> curr;
+  std::vector<RequestOutcome> outcomes;
+  std::vector<std::uint8_t> moved_flags;
+  bool prev_armed = false;
+
+  while (true) {
+    // Pick the next cycle with runnable work; idle spans cost nothing.
+    Cycle next;
+    if (!sched.ready.empty()) {
+      next = cycle_ + 1;
+    } else if (!sched.timers.empty()) {
+      next = std::max(cycle_ + 1, sched.timers.top().first);
+    } else {
+      // Nothing scheduled, nothing sleeping: the next cycle makes no
+      // progress at all. With live messages that is exactly the cycle
+      // core's quiescence observation (its blocked sweep finds no free
+      // candidate, no stall ticks, no release pending).
+      if (cycle_ + 1 > max) break;  // the observation cycle is past the horizon
+      ++cycle_;
+      if (live == 0) {
+        result.outcome = RunOutcome::kAllConsumed;
+        result.cycles = cycle_;
+      } else {
+        fill_deadlock_result(result);
+      }
+      sched_.p = nullptr;
+      return result;
+    }
+    if (next > max) {
+      st.cycles_skipped += max - cycle_;
+      cycle_ = max;
+      break;
+    }
+    st.cycles_skipped += next - cycle_ - 1;
+    cycle_ = next;
+    ++st.cycles_executed;
+
+    // Timers due this cycle rejoin the ready set.
+    while (!sched.timers.empty() && sched.timers.top().first <= cycle_) {
+      const std::uint32_t m = sched.timers.top().second;
+      sched.timers.pop();
+      ++st.events_fired;
+      push_ready(m, cycle_);
+    }
+
+    curr.clear();
+    std::swap(curr, sched.ready);
+    // Process in message-id order — the exact sweep order of the cycle
+    // core's request and move phases.
+    std::sort(curr.begin(), curr.end());
+
+    refresh_trace_armed();
+    if (trace_armed_ && !prev_armed && sched.parked > 0) {
+      // Tracing armed mid-run: wake every parked header so the per-cycle
+      // blocked events resume exactly like the cycle core's sweep.
+      for (std::vector<std::uint32_t>& list : sched.waiters) {
+        for (const std::uint32_t m : list) {
+          if (!sched.subscribed[m]) {
+            ++st.events_cancelled;
+            continue;
+          }
+          sched.subscribed[m] = 0;
+          --sched.parked;
+          ++st.events_fired;
+          if (sched.ready_stamp[m] != cycle_) {
+            sched.ready_stamp[m] = cycle_;
+            curr.push_back(m);
+          }
+        }
+        list.clear();
+      }
+      std::sort(curr.begin(), curr.end());
+    }
+    prev_armed = trace_armed_;
+
+    // Phase 1: requests (dormant messages raise none by construction).
+    requests_.v.clear();
+    outcomes.clear();
+    for (const std::uint32_t m : curr) outcomes.push_back(request_message(m));
+    arbitrate_requests();
+
+    // Phase 2: moves, in id order over the scheduled messages only.
+    st.events_fired += curr.size();
+    moved_flags.clear();
+    bool any_moved = false;
+    for (const std::uint32_t m : curr) {
+      const bool moved = move_message(m);
+      moved_flags.push_back(moved ? 1 : 0);
+      any_moved |= moved;
+    }
+
+    // Phase 3: retention — decide where each processed message lives next.
+    bool any_wait_progress = false;
+    for (std::size_t k = 0; k < curr.size(); ++k) {
+      const std::uint32_t m = curr[k];
+      MessageState& msg = messages_[m];
+      const bool moved = moved_flags[k] != 0;
+      if (msg.status == MessageStatus::kConsumed) {
+        --live;
+        continue;
+      }
+      switch (outcomes[k]) {
+        case RequestOutcome::kNotReleased:
+          // Time toward the release is progress; sleep until it arrives.
+          any_wait_progress = true;
+          sched.timers.emplace(msg.spec.release_time, m);
+          ++st.events_scheduled;
+          continue;
+        case RequestOutcome::kStalled:
+          any_wait_progress = true;
+          if (moved) break;  // body still shifting: revisit every cycle
+          // No data movement while the stall ticks means none until it
+          // expires (the shift preconditions cannot change meanwhile);
+          // consume the remaining ticks in one hop. The first request
+          // cycle after a stall of r remaining ticks is cycle_ + r + 1.
+          sched.timers.emplace(cycle_ + msg.stall_remaining + 1, m);
+          msg.stall_remaining = 0;
+          ++st.events_scheduled;
+          continue;
+        case RequestOutcome::kAllBusy:
+          if (!moved && !tracing()) {
+            // Fully blocked and quiescent: park until a wanted channel
+            // frees. Under tracing the message stays ready instead, so
+            // the per-cycle blocked events match the cycle core's.
+            desired_channels_into(msg, wants_scratch_);
+            sched.subscribed[m] = 1;
+            ++sched.parked;
+            for (const ChannelId want : wants_scratch_) {
+              sched.waiters[want.index()].push_back(m);
+              ++st.events_scheduled;
+            }
+            continue;
+          }
+          break;
+        default:
+          // kIdle (delivered, draining), kAtDestination, kRequested: the
+          // message has (or may have) work next cycle; stay scheduled.
+          break;
+      }
+      push_ready(m, cycle_ + 1);
+    }
+
+    // Phase 4: releases this cycle wake subscribed headers for the next
+    // cycle (atomic allocation: a freed channel accepts a new header no
+    // earlier than the cycle after its release — exactly what the cycle
+    // core's start-of-next-cycle request sweep observes).
+    for (const ChannelId c : sched.freed) {
+      std::vector<std::uint32_t>& list = sched.waiters[c.index()];
+      for (const std::uint32_t m : list) {
+        if (!sched.subscribed[m]) {
+          ++st.events_cancelled;
+          continue;
+        }
+        sched.subscribed[m] = 0;
+        --sched.parked;
+        ++st.events_fired;
+        push_ready(m, cycle_ + 1);
+      }
+      list.clear();
+    }
+    sched.freed.clear();
+
+    if (config_.check_invariants) check_invariants();
+    st.queue_peak =
+        std::max<std::uint64_t>(st.queue_peak, sched.ready.size() +
+                                                   sched.timers.size() +
+                                                   sched.parked);
+
+    // Sleeping messages are cycle-core progress every cycle (stall ticks,
+    // time toward a release); parked blocked headers are not.
+    const bool progress =
+        any_moved || any_wait_progress || !sched.timers.empty();
+    if (live == 0) {
+      result.outcome = RunOutcome::kAllConsumed;
+      result.cycles = cycle_;
+      sched_.p = nullptr;
+      return result;
+    }
+    if (!progress) {
+      fill_deadlock_result(result);
+      sched_.p = nullptr;
+      return result;
+    }
+  }
+
+  result.outcome = RunOutcome::kHorizon;
+  result.cycles = cycle_ = max;
+  sched_.p = nullptr;
   return result;
 }
 
@@ -713,7 +976,21 @@ std::uint32_t WormholeSimulator::channel_count(ChannelId c) const {
 
 std::uint64_t WormholeSimulator::channel_busy_cycles(ChannelId c) const {
   WORMSIM_EXPECTS(c.valid() && c.index() < channels_.size());
-  return channels_[c.index()].busy_cycles;
+  const ChannelState& ch = channels_[c.index()];
+  // Completed intervals plus the still-open one (lazy accounting).
+  return ch.busy_cycles +
+         (ch.owner.valid() ? cycle_ - ch.acquired_cycle : 0);
+}
+
+double WormholeSimulator::busy_channel_fraction() const {
+  if (channels_.empty() || cycle_ == 0) return 0;
+  std::uint64_t total = 0;
+  for (const ChannelState& ch : channels_)
+    total += ch.busy_cycles +
+             (ch.owner.valid() ? cycle_ - ch.acquired_cycle : 0);
+  return static_cast<double>(total) /
+         (static_cast<double>(channels_.size()) *
+          static_cast<double>(cycle_));
 }
 
 obs::TraceEvent WormholeSimulator::make_event(obs::TraceEventKind kind,
@@ -766,9 +1043,11 @@ void WormholeSimulator::finalize_metrics() {
   double total = 0;
   double busiest = 0;
   for (const ChannelState& ch : channels_) {
+    const std::uint64_t busy =
+        ch.busy_cycles + (ch.owner.valid() ? cycle_ - ch.acquired_cycle : 0);
     const double share =
         cycle_ == 0 ? 0
-                    : static_cast<double>(ch.busy_cycles) /
+                    : static_cast<double>(busy) /
                           static_cast<double>(cycle_);
     utilization.observe(share);
     total += share;

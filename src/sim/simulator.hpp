@@ -48,6 +48,22 @@
 
 namespace wormsim::sim {
 
+/// Which run() engine advances the clock. Both engines execute the same
+/// per-message request/arbitration/move code and are cycle-exact against
+/// each other (tests/sim/event_core_test.cpp pins byte-identical trace
+/// streams and state keys); they differ only in what an idle cycle costs.
+enum class SimCore : std::uint8_t {
+  /// Reference engine: every message is visited every cycle. Cost is
+  /// O(messages) per cycle regardless of activity.
+  kCycle,
+  /// Event-driven engine: only messages with pending work (requests,
+  /// draining flits, stall/release expirations) are scheduled, idle spans
+  /// with no runnable message are jumped over, and parked headers wake on
+  /// channel release. The default for throughput workloads on large
+  /// networks, where most channels are idle most cycles.
+  kEvent,
+};
+
 struct SimConfig {
   /// Flit-buffer depth of every channel queue. The paper's deadlock
   /// arguments use depth 1 as the adversarial worst case.
@@ -57,6 +73,23 @@ struct SimConfig {
   /// Run per-cycle structural invariant checks (tests enable this; costs
   /// O(messages + channels) per cycle).
   bool check_invariants = false;
+  /// Engine used by run(). Stepping APIs (step, step_with_grants) always
+  /// behave like kCycle; the deadlock search drives those directly.
+  SimCore core = SimCore::kCycle;
+};
+
+/// Introspection counters from the event-driven run core (run() under
+/// SimCore::kEvent). Zero until the first event run; cumulative across
+/// runs of the same simulator. An "event" is one scheduler entry: a
+/// ready-set enqueue, a sleep timer (stall/release expiry), or a
+/// channel-wait subscription of a blocked header.
+struct EventCoreStats {
+  std::uint64_t events_scheduled = 0;  ///< scheduler entries enqueued
+  std::uint64_t events_fired = 0;      ///< entries that dispatched work
+  std::uint64_t events_cancelled = 0;  ///< stale entries discarded unfired
+  std::uint64_t queue_peak = 0;  ///< peak pending entries across all queues
+  std::uint64_t cycles_executed = 0;  ///< cycles actually processed
+  std::uint64_t cycles_skipped = 0;   ///< idle cycles jumped over
 };
 
 /// Per-message outcome statistics.
@@ -218,6 +251,16 @@ class WormholeSimulator {
   /// numerator; divide by now() for the utilization fraction).
   [[nodiscard]] std::uint64_t channel_busy_cycles(ChannelId c) const;
 
+  /// Event-core scheduler counters (see EventCoreStats). All zero unless
+  /// run() executed under SimCore::kEvent.
+  [[nodiscard]] const EventCoreStats& event_stats() const {
+    return event_stats_;
+  }
+
+  /// Mean fraction of channels busy per elapsed cycle so far (total
+  /// busy-cycles over channels * now()); 0 before the first cycle.
+  [[nodiscard]] double busy_channel_fraction() const;
+
   /// Legacy string event hook, kept as a thin adapter over the typed trace
   /// stream: each legacy-visible typed event (inject / header-advance /
   /// delivered / consumed) is formatted through obs::legacy_text and
@@ -266,11 +309,27 @@ class WormholeSimulator {
   };
 
   struct ChannelState {
-    MessageId owner;            ///< invalid when free
-    std::uint32_t count = 0;    ///< buffered flits
-    bool transmitted = false;   ///< a flit entered this channel this cycle
-    std::uint64_t busy_cycles = 0;  ///< cycles spent allocated
+    MessageId owner;          ///< invalid when free
+    std::uint32_t count = 0;  ///< buffered flits
+    /// Cycle stamp of the last flit to enter this channel; a channel has
+    /// transmitted this cycle iff entered_cycle == cycle_. A stamp instead
+    /// of a bool removes the per-cycle O(channels) reset the old flag
+    /// needed (the clock is strictly increasing, so stale stamps can never
+    /// read as "transmitted"). 0 is safe as "never": moves start at cycle 1.
+    Cycle entered_cycle = 0;
+    /// Completed allocation intervals, in cycles. The live interval of a
+    /// currently-owned channel is accounted lazily: acquire() records
+    /// acquired_cycle, release adds (cycle_ - acquired_cycle), and
+    /// channel_busy_cycles() adds the open interval on read — equivalent to
+    /// the old per-cycle increment without the O(channels) sweep.
+    std::uint64_t busy_cycles = 0;
+    Cycle acquired_cycle = 0;  ///< start of the live interval (owner valid)
   };
+
+  /// True when a flit entered `ch` this cycle (one flit per channel/cycle).
+  [[nodiscard]] bool transmitted(const ChannelState& ch) const {
+    return ch.entered_cycle == cycle_;
+  }
 
   /// The channels the header of `m` may enter next; empty if the message is
   /// at its destination / not applicable.
@@ -283,13 +342,66 @@ class WormholeSimulator {
   void desired_channels_into(const MessageState& m,
                              std::vector<ChannelId>& out) const;
 
-  /// Phase 1: advance the clock, tick stalls, and fill requests_. Returns
-  /// whether any pending-time/stall progress occurred.
+  /// What request_message decided for one message this cycle. The cycle
+  /// core folds these into a progress bit; the event core additionally uses
+  /// them to decide whether the message stays scheduled or goes dormant.
+  enum class RequestOutcome : std::uint8_t {
+    kIdle,           ///< Delivered/Consumed: no routing request possible
+    kNotReleased,    ///< pending with release_time still in the future
+    kStalled,        ///< per-hop stall ticked this cycle
+    kAtDestination,  ///< header at its destination (consumption is a move)
+    kRequested,      ///< >= 1 free candidate pushed into requests_
+    kAllBusy,        ///< wants channels but every candidate is owned
+  };
+
+  /// Per-message request phase: tick stalls, maintain waiting bookkeeping,
+  /// push free-candidate requests into requests_, emit the blocked trace
+  /// event. Shared verbatim by both run cores — this is what makes them
+  /// cycle-exact by construction.
+  RequestOutcome request_message(std::size_t i);
+
+  /// Phase 1 (cycle core): advance the clock, run request_message for every
+  /// message. Returns whether any pending-time/stall progress occurred.
   bool compute_requests();
 
-  /// Phase 2: execute header grants, consumption, data shifts, injection.
-  /// `granted[i]` is the channel message i won this cycle (invalid = none).
-  bool execute_moves(const std::vector<ChannelId>& granted);
+  /// Resolves requests_ into per-message grants (set_grant) exactly like
+  /// the policy arbitration documented at step(): one winner per contested
+  /// channel, channels in ascending id order, requesters that already won
+  /// a channel this cycle dropped.
+  void arbitrate_requests();
+
+  /// Grants are stored cycle-stamped so neither core pays an O(messages)
+  /// clear per cycle: a grant is live only when its stamp equals cycle_.
+  void ensure_grant_capacity() {
+    if (granted_stamp_.size() < messages_.size()) {
+      granted_scratch_.resize(messages_.size(), ChannelId::invalid());
+      granted_stamp_.resize(messages_.size(), 0);
+    }
+  }
+  void set_grant(std::size_t i, ChannelId c) {
+    granted_scratch_[i] = c;
+    granted_stamp_[i] = cycle_;
+  }
+  [[nodiscard]] ChannelId grant_of(std::size_t i) const {
+    return granted_stamp_[i] == cycle_ ? granted_scratch_[i]
+                                       : ChannelId::invalid();
+  }
+
+  /// Phase 2: execute header grants, consumption, data shifts, injection
+  /// for every message (grants read via grant_of).
+  bool execute_moves();
+
+  /// Phase 2 for one message; returns whether any of its flits moved.
+  /// Message moves are independent within a cycle (grants are precomputed,
+  /// and shift/injection state is confined to channels the message owns),
+  /// so the event core may call this for scheduled messages only.
+  bool move_message(std::size_t i);
+
+  /// run() bodies for the two engines (see SimCore).
+  RunResult run_cycle();
+  RunResult run_event();
+  /// Shared deadlock epilogue: fills outcome/cycles/deadlock_cycle.
+  void fill_deadlock_result(RunResult& result);
 
   /// Loads the per-hop stall counter on first want of a hop; returns true
   /// while the stall is still ticking (counts as progress).
@@ -297,6 +409,10 @@ class WormholeSimulator {
 
   void acquire(MessageId id, MessageState& m, ChannelId c);
   void note_exit(MessageId id, MessageState& m, std::size_t path_index);
+  /// Appends a just-released channel to the live event run's freed list so
+  /// parked headers waiting on it wake next cycle. Out of line because
+  /// EventScheduler is opaque here; only reached when sched_.p is set.
+  void report_freed(ChannelId c);
 
   /// Serializes the full state key from scratch (the layout described at
   /// append_state_key), appending to `out`. Cold path: the incremental
@@ -363,12 +479,28 @@ class WormholeSimulator {
   std::vector<ChannelState> channels_;
   std::uint64_t flits_moved_ = 0;
 
-  /// Per-cycle scratch buffers (desired-channel probe; the trusted step's
-  /// message -> granted-channel table). Contents are transient; the members
-  /// exist so the request/step hot loops reuse capacity instead of
-  /// allocating per cycle. wants_scratch_ is mutable for peek_requests.
+  /// Per-cycle scratch buffers (desired-channel probe; the cycle-stamped
+  /// message -> granted-channel table behind grant_of). Contents are
+  /// transient; the members exist so the request/step hot loops reuse
+  /// capacity instead of allocating per cycle. wants_scratch_ is mutable
+  /// for peek_requests.
   mutable std::vector<ChannelId> wants_scratch_;
   std::vector<ChannelId> granted_scratch_;
+  std::vector<Cycle> granted_stamp_;
+
+  /// run_event()'s scheduler state (defined in simulator.cpp); sched_
+  /// points at it only while that run is live, so note_exit can report
+  /// released channels for waiter wake-up. Deliberately not copied: a
+  /// forked simulator is never inside its parent's run.
+  struct EventScheduler;
+  struct SchedulerRef {
+    EventScheduler* p = nullptr;
+    SchedulerRef() = default;
+    SchedulerRef(const SchedulerRef&) noexcept {}
+    SchedulerRef& operator=(const SchedulerRef&) noexcept { return *this; }
+  };
+  SchedulerRef sched_;
+  EventCoreStats event_stats_;
 
   /// Incremental state-key cache. key_cache_ holds the current serialized
   /// key; after the first build, execute_moves records which channels and

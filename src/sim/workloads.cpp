@@ -90,6 +90,64 @@ std::vector<MessageSpec> generate_workload(const topo::Network& net,
   return generate(net, nullptr, config);
 }
 
+std::vector<MessageSpec> generate_workload(std::span<const NodeId> terminals,
+                                           const WorkloadConfig& config) {
+  WORMSIM_EXPECTS(config.injection_rate >= 0 && config.injection_rate <= 1);
+  WORMSIM_EXPECTS(config.message_length >= 1);
+  WORMSIM_EXPECTS_MSG(!terminals.empty(), "no terminals to inject from");
+  const std::size_t n = terminals.size();
+  // Permutation preconditions up front (see the grid generator's rationale):
+  // a fabric whose terminal count does not fit the pattern must fail before
+  // the first trial, not mid-sweep.
+  std::size_t side = 0;
+  if (config.pattern == TrafficPattern::kTranspose) {
+    while ((side + 1) * (side + 1) <= n) ++side;
+    WORMSIM_EXPECTS_MSG(side * side == n,
+                        "transpose needs a square terminal count");
+  }
+  WORMSIM_EXPECTS_MSG(config.pattern != TrafficPattern::kBitReversal ||
+                          std::has_single_bit(n),
+                      "bit reversal needs a power-of-2 terminal count");
+
+  util::Rng rng(config.seed);
+  std::vector<MessageSpec> specs;
+  for (Cycle t = 0; t < config.horizon; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rng.chance(config.injection_rate)) continue;
+      std::size_t j = i;
+      switch (config.pattern) {
+        case TrafficPattern::kUniformRandom:
+          j = rng.below(n);
+          break;
+        case TrafficPattern::kTranspose:
+          j = (i % side) * side + i / side;
+          break;
+        case TrafficPattern::kBitReversal: {
+          const int bits = std::countr_zero(n);
+          std::size_t v = i, r = 0;
+          for (int b = 0; b < bits; ++b) {
+            r = (r << 1) | (v & 1);
+            v >>= 1;
+          }
+          j = r;
+          break;
+        }
+        case TrafficPattern::kHotspot:
+          j = rng.chance(config.hotspot_fraction) ? 0 : rng.below(n);
+          break;
+      }
+      if (j == i) continue;  // self-addressed trial: skip
+      specs.push_back(
+          MessageSpec{terminals[i], terminals[j], config.message_length, t, {}});
+    }
+  }
+  std::stable_sort(specs.begin(), specs.end(),
+                   [](const MessageSpec& a, const MessageSpec& b) {
+                     return a.release_time < b.release_time;
+                   });
+  return specs;
+}
+
 WorkloadStats summarize_workload(const WormholeSimulator& sim, Cycle cycles) {
   WorkloadStats stats;
   stats.offered = sim.message_count();

@@ -8,6 +8,7 @@
 // is released (Assumption 1: any rate, any length).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -43,6 +44,18 @@ std::vector<MessageSpec> generate_workload(const topo::Grid& grid,
 /// Same for an arbitrary network (kUniformRandom and kHotspot only, since
 /// the permutation patterns need grid coordinates).
 std::vector<MessageSpec> generate_workload(const topo::Network& net,
+                                           const WorkloadConfig& config);
+
+/// Endpoint-aware overload for fabrics that distinguish terminals from
+/// switches (fat-tree hosts, dragonfly terminals — topo/datacenter.hpp):
+/// traffic originates and terminates only on `terminals`, and permutation
+/// patterns act on terminal *indices* — transpose treats the list as a
+/// sqrt(n) x sqrt(n) square, bit-reversal reverses the index bits. Pattern
+/// preconditions are validated before any injection trial fires: transpose
+/// requires a square terminal count and bit-reversal a power-of-two count,
+/// so e.g. permutation traffic on a 6-ary fat-tree (54 hosts) is rejected
+/// up front rather than aborting mid-sweep.
+std::vector<MessageSpec> generate_workload(std::span<const NodeId> terminals,
                                            const WorkloadConfig& config);
 
 /// Aggregate latency/throughput over a finished simulation. Only messages

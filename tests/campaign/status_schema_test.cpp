@@ -116,15 +116,16 @@ void expect_matches_table(const obs::json::Value& object,
 TEST(StatusSchemaDoc, ManualTablesParse) {
   const std::string doc = read_file(manual_path());
   ASSERT_FALSE(doc.empty()) << "cannot read " << manual_path();
-  EXPECT_EQ(parse_table(doc, "## Status file schema").size(), 10u);
+  EXPECT_EQ(parse_table(doc, "## Status file schema").size(), 11u);
   EXPECT_EQ(parse_table(doc, "### The `progress` object").size(), 10u);
   EXPECT_EQ(parse_table(doc, "### The `truth_cache` object").size(), 4u);
+  EXPECT_EQ(parse_table(doc, "### The `sim` object").size(), 11u);
   EXPECT_EQ(parse_table(doc, "### The `search` object").size(), 21u);
   EXPECT_EQ(parse_table(doc, "### Worker entries").size(), 13u);
   for (const char* heading :
        {"## Status file schema", "### The `progress` object",
-        "### The `truth_cache` object", "### The `search` object",
-        "### Worker entries"})
+        "### The `truth_cache` object", "### The `sim` object",
+        "### The `search` object", "### Worker entries"})
     for (const DocField& f : parse_table(doc, heading))
       EXPECT_EQ(f.presence, "always")
           << f.name << ": status fields never come and go";
@@ -136,6 +137,7 @@ TEST(StatusSchemaDoc, EmittedSnapshotMatchesTheManualFieldForField) {
   const auto top = parse_table(doc, "## Status file schema");
   const auto progress = parse_table(doc, "### The `progress` object");
   const auto truth = parse_table(doc, "### The `truth_cache` object");
+  const auto sim = parse_table(doc, "### The `sim` object");
   const auto search = parse_table(doc, "### The `search` object");
   const auto worker = parse_table(doc, "### Worker entries");
   ASSERT_FALSE(top.empty());
@@ -148,11 +150,12 @@ TEST(StatusSchemaDoc, EmittedSnapshotMatchesTheManualFieldForField) {
   const auto parsed = obs::json::parse(read_file(status_file));
   ASSERT_TRUE(parsed.has_value()) << "final snapshot is not valid JSON";
   ASSERT_TRUE(parsed->is_object());
-  EXPECT_EQ(parsed->find("schema")->as_string(), "wormsim-status-v1");
+  EXPECT_EQ(parsed->find("schema")->as_string(), "wormsim-status-v2");
 
   expect_matches_table(*parsed, top, "top-level");
   expect_matches_table(*parsed->find("progress"), progress, "progress");
   expect_matches_table(*parsed->find("truth_cache"), truth, "truth_cache");
+  expect_matches_table(*parsed->find("sim"), sim, "sim");
   expect_matches_table(*parsed->find("search"), search, "search");
   const auto& workers = parsed->find("workers")->as_array();
   ASSERT_EQ(workers.size(), 2u);  // one row per shard
@@ -233,7 +236,7 @@ TEST(StatusSchemaDoc, RacingReadersNeverSeeATornSnapshot) {
       const auto parsed = obs::json::parse(text);
       if (!parsed || !parsed->is_object() ||
           parsed->find("schema") == nullptr ||
-          parsed->find("schema")->as_string() != "wormsim-status-v1" ||
+          parsed->find("schema")->as_string() != "wormsim-status-v2" ||
           parsed->find("workers") == nullptr)
         ++torn;
     }

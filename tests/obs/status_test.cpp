@@ -48,7 +48,7 @@ TEST(StatusWriterTest, WritesParseableSnapshotAndStampsSeqPid) {
 
   const auto parsed = json::parse(read_file(path));
   ASSERT_TRUE(parsed.has_value());
-  EXPECT_EQ(parsed->find("schema")->as_string(), "wormsim-status-v1");
+  EXPECT_EQ(parsed->find("schema")->as_string(), "wormsim-status-v2");
   EXPECT_EQ(parsed->find("seq")->as_u64(), 2u);  // stamped, not caller's
   EXPECT_GT(parsed->find("pid")->as_u64(), 0u);
   EXPECT_EQ(parsed->find("progress")->find("done")->as_u64(), 7u);
@@ -56,6 +56,44 @@ TEST(StatusWriterTest, WritesParseableSnapshotAndStampsSeqPid) {
   // No temp droppings left behind by successful writes.
   for (const auto& entry : fs::directory_iterator(fs::temp_directory_path()))
     EXPECT_EQ(entry.path().string().find(path + ".tmp"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(StatusWriterTest, EmitsSimCoreIntrospection) {
+  const std::string path = temp_path("wormsim_status_sim_test.json");
+  fs::remove(path);
+  StatusWriter writer(path);
+
+  StatusSnapshot snap;
+  snap.kind = "saturation";
+  snap.sim.active = true;
+  snap.sim.core = "event";
+  snap.sim.cycles_executed = 120;
+  snap.sim.cycles_skipped = 9880;
+  snap.sim.events_scheduled = 400;
+  snap.sim.events_fired = 390;
+  snap.sim.events_cancelled = 10;
+  snap.sim.queue_peak = 64;
+  snap.sim.messages_total = 32;
+  snap.sim.messages_consumed = 30;
+  snap.sim.busy_channel_fraction = 0.25;
+  ASSERT_TRUE(writer.write(snap));
+
+  const auto parsed = json::parse(read_file(path));
+  ASSERT_TRUE(parsed.has_value());
+  const json::Value* sim = parsed->find("sim");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_TRUE(sim->find("active")->as_bool());
+  EXPECT_EQ(sim->find("core")->as_string(), "event");
+  EXPECT_EQ(sim->find("cycles_executed")->as_u64(), 120u);
+  EXPECT_EQ(sim->find("cycles_skipped")->as_u64(), 9880u);
+  EXPECT_EQ(sim->find("events_scheduled")->as_u64(), 400u);
+  EXPECT_EQ(sim->find("events_fired")->as_u64(), 390u);
+  EXPECT_EQ(sim->find("events_cancelled")->as_u64(), 10u);
+  EXPECT_EQ(sim->find("queue_peak")->as_u64(), 64u);
+  EXPECT_EQ(sim->find("messages_total")->as_u64(), 32u);
+  EXPECT_EQ(sim->find("messages_consumed")->as_u64(), 30u);
+  EXPECT_DOUBLE_EQ(sim->find("busy_channel_fraction")->as_number(), 0.25);
   fs::remove(path);
 }
 
@@ -182,7 +220,7 @@ TEST(StatusSamplerTest, ConcurrentReadersSeeOnlyCompleteSnapshots) {
       const auto parsed = json::parse(text);
       if (!parsed || !parsed->is_object() ||
           parsed->find("schema") == nullptr ||
-          parsed->find("schema")->as_string() != "wormsim-status-v1")
+          parsed->find("schema")->as_string() != "wormsim-status-v2")
         torn.fetch_add(1);
     }
   });

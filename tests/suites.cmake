@@ -4,7 +4,10 @@ wormsim_test(sim_tests
   sim/deadlock_detect_test.cpp
   sim/state_key_test.cpp
   sim/workloads_test.cpp
-  sim/fuzz_test.cpp)
+  sim/fuzz_test.cpp
+  sim/event_core_test.cpp)
+# The event-core parity suite replays a pinned campaign scenario sample.
+target_link_libraries(sim_tests PRIVATE wormsim_campaign)
 
 wormsim_test(analysis_tests
   analysis/configuration_test.cpp

@@ -1,0 +1,266 @@
+// Structural and routing invariants of the datacenter fabrics: node and
+// channel census, every terminal pair routed minimally, acyclic channel
+// dependency graphs (the deadlock-freedom certificate for all three
+// algorithms), and the endpoint-aware workload generator's up-front
+// precondition checks.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "cdg/cdg.hpp"
+#include "routing/datacenter.hpp"
+#include "routing/routing.hpp"
+#include "sim/workloads.hpp"
+#include "topo/builders.hpp"
+#include "topo/datacenter.hpp"
+
+namespace wormsim {
+namespace {
+
+TEST(FatTreeTest, CensusAndDegrees) {
+  const topo::FatTree tree(4);
+  // 16 hosts, 8 edge, 8 agg, 4 core.
+  EXPECT_EQ(tree.host_count(), 16u);
+  EXPECT_EQ(tree.net().node_count(), 36u);
+  // Duplex links: 16 host + 16 edge-agg + 16 agg-core => 96 channels.
+  EXPECT_EQ(tree.net().channel_count(), 96u);
+  for (const NodeId h : tree.hosts()) {
+    EXPECT_EQ(tree.role(h), topo::FatTree::Role::kHost);
+    EXPECT_EQ(tree.net().channels_from(h).size(), 1u);
+    EXPECT_EQ(tree.net().channels_into(h).size(), 1u);
+  }
+  // Every switch has radix k.
+  for (std::size_t i = tree.host_count(); i < tree.net().node_count(); ++i) {
+    const NodeId sw{i};
+    EXPECT_EQ(tree.net().channels_from(sw).size(), 4u)
+        << tree.net().node_name(sw);
+    EXPECT_EQ(tree.net().channels_into(sw).size(), 4u);
+  }
+  EXPECT_TRUE(tree.net().strongly_connected());
+}
+
+TEST(FatTreeTest, UpDownRoutesEveryHostPairWithinSixHops) {
+  const topo::FatTree tree(4);
+  const routing::FatTreeUpDown alg(tree);
+  for (const NodeId src : tree.hosts()) {
+    for (const NodeId dst : tree.hosts()) {
+      if (src == dst) {
+        EXPECT_FALSE(alg.routes(src, dst));
+        continue;
+      }
+      ASSERT_TRUE(alg.routes(src, dst));
+      const auto path = routing::trace_path(alg, src, dst);
+      ASSERT_TRUE(path.has_value());
+      EXPECT_TRUE(tree.net().is_walk(src, dst, *path));
+      EXPECT_LE(path->size(), 6u);  // host-edge-agg-core-agg-edge-host
+      EXPECT_GE(path->size(), 2u);
+    }
+  }
+  // Switches are never endpoints.
+  EXPECT_FALSE(alg.routes(tree.host(0), tree.edge_switch(0, 0)));
+  EXPECT_FALSE(alg.routes(tree.core_switch(0), tree.host(0)));
+}
+
+TEST(FatTreeTest, UpDownCdgIsAcyclic) {
+  const topo::FatTree tree(4);
+  const routing::FatTreeUpDown alg(tree);
+  const auto graph = cdg::ChannelDependencyGraph::build(alg);
+  EXPECT_TRUE(graph.acyclic());
+  EXPECT_TRUE(graph.topological_numbering().has_value());
+}
+
+TEST(FatTreeTest, DModKSpreadsUpwardTraffic) {
+  // Destinations with distinct (d mod k/2) classes must climb through
+  // distinct aggregation switches — the load-spreading property that makes
+  // D-mod-k the standard oblivious fat-tree scheme.
+  const topo::FatTree tree(4);
+  const routing::FatTreeUpDown alg(tree);
+  const NodeId src = tree.host(0);
+  std::set<ChannelId> first_up_links;
+  for (std::size_t d = 8; d < 12; ++d) {  // another pod, all one edge switch
+    const auto path = routing::trace_path(alg, src, tree.host(d));
+    ASSERT_TRUE(path.has_value() && path->size() == 6u);
+    first_up_links.insert((*path)[1]);  // edge -> agg choice
+  }
+  EXPECT_EQ(first_up_links.size(), 2u);  // k/2 distinct agg columns
+}
+
+TEST(FatTreeTest, OddRadixDies) {
+  EXPECT_DEATH(topo::FatTree tree(3), "even");
+}
+
+TEST(DragonflyTest, CensusAndGlobalWiring) {
+  const topo::DragonflySpec spec{.routers_per_group = 4,
+                                 .global_links = 2,
+                                 .groups = 9,
+                                 .terminals_per_router = 2};
+  const topo::Dragonfly fly(spec);
+  EXPECT_EQ(fly.terminal_count(), 72u);
+  EXPECT_EQ(fly.net().node_count(), 72u + 36u);
+  // Channels: 72 terminal duplex (144) + per group a*(a-1) ordered pairs x 2
+  // lanes (24 x 9 = 216... a*(a-1)=12 pairs x 2 lanes = 24 per group) +
+  // global duplex pairs g*(g-1)/2 = 36 -> 72 channels.
+  EXPECT_EQ(fly.net().channel_count(), 144u + 216u + 72u);
+  EXPECT_TRUE(fly.net().strongly_connected());
+  // Exactly one global link between every pair of groups, owned by the
+  // gateway() routers on each side.
+  for (int a = 0; a < spec.groups; ++a)
+    for (int b = 0; b < spec.groups; ++b) {
+      if (a == b) continue;
+      const NodeId ga = fly.gateway(a, b);
+      const NodeId gb = fly.gateway(b, a);
+      EXPECT_TRUE(fly.net().find_channel(ga, gb).has_value())
+          << "groups " << a << " -> " << b;
+    }
+}
+
+TEST(DragonflyTest, MinimalRoutesEveryTerminalPair) {
+  const topo::DragonflySpec spec{.routers_per_group = 3,
+                                 .global_links = 2,
+                                 .groups = 7,
+                                 .terminals_per_router = 1};
+  const topo::Dragonfly fly(spec);
+  const routing::DragonflyMinimal alg(fly);
+  for (const NodeId src : fly.terminals()) {
+    for (const NodeId dst : fly.terminals()) {
+      if (src == dst) continue;
+      ASSERT_TRUE(alg.routes(src, dst));
+      const auto path = routing::trace_path(alg, src, dst);
+      ASSERT_TRUE(path.has_value());
+      EXPECT_TRUE(fly.net().is_walk(src, dst, *path));
+      // terminal-up [+ local] + global [+ local] + terminal-down.
+      EXPECT_LE(path->size(), 5u);
+    }
+  }
+}
+
+TEST(DragonflyTest, MinimalCdgIsAcyclic) {
+  for (const int groups : {3, 7}) {  // partial and full-scale (g = a*h + 1)
+    const topo::DragonflySpec spec{.routers_per_group = 3,
+                                   .global_links = 2,
+                                   .groups = groups,
+                                   .terminals_per_router = 1};
+    const topo::Dragonfly fly(spec);
+    const routing::DragonflyMinimal alg(fly);
+    const auto graph = cdg::ChannelDependencyGraph::build(alg);
+    EXPECT_TRUE(graph.acyclic()) << "groups=" << groups;
+  }
+}
+
+TEST(DragonflyTest, PostGlobalHopsUseLaneOne) {
+  const topo::DragonflySpec spec{.routers_per_group = 3,
+                                 .global_links = 2,
+                                 .groups = 7,
+                                 .terminals_per_router = 1};
+  const topo::Dragonfly fly(spec);
+  const routing::DragonflyMinimal alg(fly);
+  bool saw_lane1 = false;
+  for (const NodeId src : fly.terminals())
+    for (const NodeId dst : fly.terminals()) {
+      if (src == dst) continue;
+      const auto path = *routing::trace_path(alg, src, dst);
+      // Lane-1 locals may appear only after a group change; lane-0 locals
+      // only before.
+      bool crossed_global = false;
+      for (const ChannelId c : path) {
+        const topo::Channel& ch = fly.net().channel(c);
+        const bool local = !fly.is_terminal(ch.src) &&
+                           !fly.is_terminal(ch.dst) &&
+                           fly.group_of_router(ch.src) ==
+                               fly.group_of_router(ch.dst);
+        const bool global = !fly.is_terminal(ch.src) &&
+                            !fly.is_terminal(ch.dst) && !local;
+        if (global) crossed_global = true;
+        if (local) {
+          EXPECT_EQ(ch.lane, crossed_global ? 1 : 0);
+          saw_lane1 |= ch.lane == 1;
+        }
+      }
+    }
+  EXPECT_TRUE(saw_lane1);
+}
+
+TEST(DragonflyTest, OversizedGroupCountDies) {
+  const topo::DragonflySpec spec{.routers_per_group = 2,
+                                 .global_links = 1,
+                                 .groups = 4,  // > a*h + 1 = 3
+                                 .terminals_per_router = 1};
+  EXPECT_DEATH(topo::Dragonfly fly(spec), "groups");
+}
+
+TEST(CompleteDirectTest, SingleHopEverywhereAndEdgelessCdg) {
+  const topo::Network net = topo::make_complete(8);
+  const routing::CompleteDirect alg(net);
+  for (const NodeId src : net.nodes())
+    for (const NodeId dst : net.nodes()) {
+      if (src == dst) continue;
+      ASSERT_TRUE(alg.routes(src, dst));
+      const auto path = routing::trace_path(alg, src, dst);
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(path->size(), 1u);
+    }
+  const auto graph = cdg::ChannelDependencyGraph::build(alg);
+  EXPECT_TRUE(graph.acyclic());
+  EXPECT_EQ(graph.edge_count(), 0u);  // one-hop routes: no dependencies
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint-aware workload preconditions (satellite: reject permutation
+// traffic on fabrics whose terminal census does not fit the pattern,
+// before any trial fires).
+// ---------------------------------------------------------------------------
+
+using DatacenterWorkloadDeathTest = ::testing::Test;
+
+TEST(DatacenterWorkloadDeathTest, BitReversalOnNonPowerOfTwoFatTreeDies) {
+  const topo::FatTree tree(6);  // 54 hosts: not a power of two
+  sim::WorkloadConfig config;
+  config.pattern = sim::TrafficPattern::kBitReversal;
+  config.injection_rate = 0;  // must die even when no trial could fire
+  EXPECT_DEATH((void)sim::generate_workload(tree.hosts(), config),
+               "power-of-2");
+}
+
+TEST(DatacenterWorkloadDeathTest, TransposeOnNonSquareTerminalCountDies) {
+  const topo::DragonflySpec spec{.routers_per_group = 3,
+                                 .global_links = 2,
+                                 .groups = 7,
+                                 .terminals_per_router = 1};
+  const topo::Dragonfly fly(spec);  // 21 terminals: not a square
+  sim::WorkloadConfig config;
+  config.pattern = sim::TrafficPattern::kTranspose;
+  config.injection_rate = 0;
+  EXPECT_DEATH((void)sim::generate_workload(fly.terminals(), config),
+               "square");
+}
+
+TEST(DatacenterWorkloadTest, PatternsActOnTerminalIndices) {
+  const topo::FatTree tree(4);  // 16 hosts: square and a power of two
+  sim::WorkloadConfig config;
+  config.injection_rate = 1.0;
+  config.horizon = 1;
+  config.pattern = sim::TrafficPattern::kBitReversal;
+  for (const sim::MessageSpec& spec :
+       sim::generate_workload(tree.hosts(), config)) {
+    EXPECT_TRUE(tree.is_host(spec.src));
+    EXPECT_TRUE(tree.is_host(spec.dst));
+    // Bit reversal of a 4-bit host index.
+    std::size_t v = spec.src.index(), r = 0;
+    for (int b = 0; b < 4; ++b) {
+      r = (r << 1) | (v & 1);
+      v >>= 1;
+    }
+    EXPECT_EQ(spec.dst.index(), r);
+  }
+  config.pattern = sim::TrafficPattern::kTranspose;
+  const auto transposed = sim::generate_workload(tree.hosts(), config);
+  EXPECT_FALSE(transposed.empty());
+  for (const sim::MessageSpec& spec : transposed) {
+    const std::size_t i = spec.src.index();
+    EXPECT_EQ(spec.dst.index(), (i % 4) * 4 + i / 4);
+  }
+}
+
+}  // namespace
+}  // namespace wormsim

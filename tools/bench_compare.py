@@ -47,6 +47,12 @@ INFORM = [
     "truth_cache.*",
     "shard_sweep.*",
     "reduction.*",
+    # wormsim_saturation: wall-clock rows and the cycle-vs-event core timing
+    # comparison are machine-dependent; the deterministic sweep metrics
+    # (offered/delivered/latency/event counters) stay exact-gated.
+    "cores.*",
+    "sweep.*wall_seconds",
+    "total_wall_seconds",
 ]
 INFORM_LABELS = ["truth_cache"]
 

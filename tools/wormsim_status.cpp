@@ -36,7 +36,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--watch [SECONDS]] FILE...\n"
-               "renders wormsim-status-v1 heartbeat files (see "
+               "renders wormsim-status-v2 heartbeat files (see "
                "docs/observability.md)\n",
                argv0);
   return 2;
@@ -82,7 +82,7 @@ Row read_row(const std::string& path) {
   if (!parsed || !parsed->is_object()) return row;
   const Value* schema = parsed->find("schema");
   if (schema == nullptr || !schema->is_string() ||
-      schema->as_string() != "wormsim-status-v1")
+      schema->as_string() != "wormsim-status-v2")
     return row;
 
   row.ok = true;
