@@ -93,6 +93,41 @@ Classification family_classification(const Scenario& scenario,
   return c;
 }
 
+/// Synthesized-routing scenarios: the "theory" side is the existence
+/// analyzer's certificate (src/synth), and the campaign cross-checks it
+/// against the search exactly like the paper's theorems. Only the witness
+/// direction is predicted: a verified increasing ordering compiles to an
+/// acyclic-CDG table, which Dally–Seitz proves deadlock-free. A refusal
+/// (obstruction) says no *robust* routing exists but builds no table to
+/// search, and a budget exhaustion says nothing — both stay out of scope.
+Classification synthesized_classification(const MaterializedScenario& live) {
+  WORMSIM_ASSERT(live.certificate != nullptr);
+  Classification c;
+  switch (live.certificate->verdict) {
+    case synth::ExistenceVerdict::kExists:
+      WORMSIM_ASSERT(live.graph != nullptr);
+      c.cdg_cyclic = !live.graph->acyclic();
+      c.prediction = Prediction::kDeadlockFree;
+      c.rule = "synth-ordering";
+      c.detail = "increasing ordering (" + live.certificate->method +
+                 ") compiled to a table";
+      return c;
+    case synth::ExistenceVerdict::kNotExists:
+      c.prediction = Prediction::kOutOfScope;
+      c.rule = "synth-obstruction";
+      c.detail = "obstruction core of " +
+                 std::to_string(live.certificate->obstruction.core.size()) +
+                 " pairs";
+      return c;
+    case synth::ExistenceVerdict::kInconclusive:
+      c.prediction = Prediction::kOutOfScope;
+      c.rule = "synth-inconclusive";
+      c.detail = "existence search budget exhausted";
+      return c;
+  }
+  WORMSIM_UNREACHABLE("bad ExistenceVerdict");
+}
+
 }  // namespace
 
 int section6_shape_k(const core::CyclicFamilySpec& spec) {
@@ -118,6 +153,8 @@ Classification classify(const Scenario& scenario,
                         const MaterializedScenario& live) {
   if (scenario.kind == ScenarioKind::kFamily)
     return family_classification(scenario, live);
+  if (scenario.kind == ScenarioKind::kSynthesized)
+    return synthesized_classification(live);
 
   WORMSIM_ASSERT(live.graph != nullptr);
   Classification c;

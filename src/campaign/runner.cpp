@@ -135,6 +135,38 @@ SearchOutcome acyclic_ground_truth(Evaluation& eval, const Scenario& scenario,
   return outcome_of(result);
 }
 
+/// Ground truth for a synthesized-routing scenario: re-verify the table's
+/// Dally–Seitz numbering certificate, then search the full sampled demand
+/// (one message per pair, seed-derived lengths). Any deadlock refutes the
+/// existence certificate the classifier trusted. A demanded pair the table
+/// cannot route also counts as refuted — the certificate promised coverage.
+SearchOutcome synthesized_ground_truth(Evaluation& eval,
+                                       const Scenario& scenario,
+                                       const MaterializedScenario& live,
+                                       const analysis::SearchLimits& limits) {
+  WORMSIM_ASSERT(live.alg != nullptr && live.graph != nullptr);
+  const auto numbering = live.graph->topological_numbering();
+  if (!numbering || !live.graph->verify_numbering(*numbering))
+    return SearchOutcome::kDeadlock;
+
+  util::Rng rng(scenario.seed ^ kProbeSalt);
+  std::vector<sim::MessageSpec> specs;
+  for (const synth::NodePair& p : live.demand) {
+    if (!routing::trace_path(*live.alg, p.src, p.dst))
+      return SearchOutcome::kDeadlock;
+    sim::MessageSpec spec;
+    spec.src = p.src;
+    spec.dst = p.dst;
+    spec.length = static_cast<std::uint32_t>(rng.range(1, 3));
+    specs.push_back(spec);
+  }
+  if (specs.empty()) return SearchOutcome::kNoDeadlock;
+  const auto result = analysis::find_deadlock(
+      *live.alg, specs, analysis::AdversaryModel::kSynchronous, limits);
+  fold_search(eval, result);
+  return outcome_of(result);
+}
+
 /// Ground truth is a pure function of (scenario.truth_key(), search limits,
 /// probe knobs) — see TruthStore's header for the persistence story. Within
 /// one run the store doubles as the in-memory memo table: families resample
@@ -237,6 +269,12 @@ Evaluation evaluate_impl(const Scenario& scenario, const EvalOptions& options,
                                 const analysis::SearchLimits& with) {
     if (scenario.kind == ScenarioKind::kFamily)
       return family_ground_truth(into, *live.family, with);
+    if (scenario.kind == ScenarioKind::kSynthesized) {
+      // No table (obstruction / inconclusive certificate): nothing for the
+      // search to cross-check.
+      if (live.alg == nullptr) return SearchOutcome::kNotRun;
+      return synthesized_ground_truth(into, scenario, live, with);
+    }
     if (eval.classification.cdg_cyclic)
       return cyclic_ground_truth(into, live, options, with);
     return acyclic_ground_truth(into, scenario, live, options, with);

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_set>
+#include <utility>
 
 #include "obs/json.hpp"
 #include "routing/random_routing.hpp"
+#include "synth/synthesize.hpp"
 
 namespace wormsim::campaign {
 
@@ -15,6 +18,7 @@ namespace {
 // odd constants.
 constexpr std::uint64_t kRoutingSalt = 0xa2b7c93d51e6f847ull;
 constexpr std::uint64_t kChordSalt = 0x6d1fb3a9428c7e15ull;
+constexpr std::uint64_t kPairSalt = 0x3f8e6b24d9c1a75bull;
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
@@ -62,6 +66,29 @@ void add_chords(topo::Network& net, const Scenario& s) {
   }
 }
 
+/// The synthesized-routing demand: `scenario.pairs` distinct ordered node
+/// pairs drawn from seed ^ kPairSalt. Bounded rejection (duplicates and
+/// src == dst are redrawn a few times, then skipped), so small networks may
+/// yield fewer pairs than requested — deterministically so.
+std::vector<synth::NodePair> sample_demand(const topo::Network& net,
+                                           const Scenario& s) {
+  util::Rng rng(s.seed ^ kPairSalt);
+  const std::size_t n = net.node_count();
+  std::vector<synth::NodePair> demand;
+  std::unordered_set<std::uint64_t> seen;
+  const int attempts = s.pairs * 4;
+  for (int i = 0; i < attempts && std::cmp_less(demand.size(), s.pairs);
+       ++i) {
+    const NodeId src{rng.below(n)};
+    const NodeId dst{rng.below(n)};
+    if (src == dst) continue;
+    const std::uint64_t key = (std::uint64_t{src.value()} << 32) | dst.value();
+    if (!seen.insert(key).second) continue;
+    demand.push_back({src, dst});
+  }
+  return demand;
+}
+
 }  // namespace
 
 int Scenario::sharing_count() const {
@@ -83,7 +110,8 @@ std::string Scenario::describe() const {
     }
     os << "]";
   } else {
-    os << "random " << to_string(topology);
+    os << (kind == ScenarioKind::kSynthesized ? "synth " : "random ")
+       << to_string(topology);
     if (topology == TopologyKind::kMesh || topology == TopologyKind::kTorus) {
       os << " dims=";
       for (std::size_t i = 0; i < dims.size(); ++i)
@@ -93,7 +121,10 @@ std::string Scenario::describe() const {
     }
     if (lanes > 1) os << " lanes=" << lanes;
     if (extra_chords > 0) os << " chords=" << extra_chords;
-    os << " " << to_string(flavor);
+    if (kind == ScenarioKind::kSynthesized)
+      os << " pairs=" << pairs;
+    else
+      os << " " << to_string(flavor);
   }
   return os.str();
 }
@@ -106,6 +137,14 @@ std::string Scenario::truth_key() const {
     os << "F" << (family.hub_completion ? "H" : "-");
     for (const core::CyclicMessageParams& p : family.messages)
       os << "|" << p.access << "," << p.hold << "," << (p.uses_shared ? 1 : 0);
+  } else if (kind == ScenarioKind::kSynthesized) {
+    // The demand and the synthesized table are both pure functions of the
+    // topology fields and the seed, so those are the whole identity.
+    os << "S|" << to_string(topology) << "|";
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      os << (i ? "x" : "") << dims[i];
+    os << "|" << nodes << "|" << lanes << "|" << extra_chords << "|" << pairs
+       << "|" << seed;
   } else {
     os << "R|" << to_string(topology) << "|";
     for (std::size_t i = 0; i < dims.size(); ++i)
@@ -135,8 +174,11 @@ std::string Scenario::to_json() const {
     for (std::size_t i = 0; i < dims.size(); ++i)
       os << (i ? "," : "") << dims[i];
     os << "],\"nodes\":" << nodes << ",\"lanes\":" << lanes
-       << ",\"chords\":" << extra_chords << ",\"flavor\":\""
-       << to_string(flavor) << "\"";
+       << ",\"chords\":" << extra_chords;
+    if (kind == ScenarioKind::kSynthesized)
+      os << ",\"pairs\":" << pairs;
+    else
+      os << ",\"flavor\":\"" << to_string(flavor) << "\"";
   }
   os << "}";
   return os.str();
@@ -208,8 +250,10 @@ std::optional<Scenario> Scenario::from_json(std::string_view text) {
     return s;
   }
 
-  if (kind->as_string() != "random") return std::nullopt;
-  s.kind = ScenarioKind::kRandomAlgorithm;
+  const bool synthesized = kind->as_string() == "synthesized";
+  if (kind->as_string() != "random" && !synthesized) return std::nullopt;
+  s.kind = synthesized ? ScenarioKind::kSynthesized
+                       : ScenarioKind::kRandomAlgorithm;
   const auto* topology = parsed->find("topology");
   const auto* dims = parsed->find("dims");
   const auto* nodes = parsed->find("nodes");
@@ -245,6 +289,12 @@ std::optional<Scenario> Scenario::from_json(std::string_view text) {
                      flavor->as_string() == to_string(RoutingFlavor::kRandomMinimal)
                  ? RoutingFlavor::kRandomMinimal
                  : RoutingFlavor::kRandomTree;
+  if (synthesized) {
+    const auto* pairs = parsed->find("pairs");
+    if (!pairs || !pairs->is_number() || pairs->as_number() < 1)
+      return std::nullopt;
+    s.pairs = static_cast<int>(pairs->as_number());
+  }
   return s;
 }
 
@@ -272,6 +322,23 @@ MaterializedScenario materialize(const Scenario& scenario) {
   }
   m.net = std::make_unique<topo::Network>(build_topology(scenario));
   add_chords(*m.net, scenario);
+  if (scenario.kind == ScenarioKind::kSynthesized) {
+    // Sample the demand, run the existence analyzer, and compile a witness
+    // ordering into a table. All deterministic in the scenario fields; the
+    // state budget is fixed here (not an option) because the certificate is
+    // part of the scenario's reproducible identity.
+    m.demand = sample_demand(*m.net, scenario);
+    synth::ExistenceOptions eopt;
+    eopt.max_states = 50'000;
+    m.certificate = std::make_unique<synth::ExistenceCertificate>(
+        synth::analyze_existence(*m.net, m.demand, eopt));
+    if (m.certificate->verdict == synth::ExistenceVerdict::kExists) {
+      m.alg = synth::table_from_order(*m.net, m.demand, m.certificate->order);
+      m.graph = std::make_unique<cdg::ChannelDependencyGraph>(
+          cdg::ChannelDependencyGraph::build(*m.alg));
+    }
+    return m;
+  }
   util::Rng rng(scenario.seed ^ kRoutingSalt);
   m.alg = scenario.flavor == RoutingFlavor::kRandomTree
               ? routing::random_tree_routing(*m.net, rng)
@@ -292,6 +359,9 @@ ScenarioGenerator::ScenarioGenerator(std::uint64_t campaign_seed,
   WORMSIM_EXPECTS(knobs_.max_hold >= 2);
   WORMSIM_EXPECTS(knobs_.max_ring_nodes >= 3);
   WORMSIM_EXPECTS(knobs_.max_mesh_radix >= 2);
+  WORMSIM_EXPECTS(knobs_.synthesized_fraction >= 0.0 &&
+                  knobs_.synthesized_fraction <= 1.0);
+  WORMSIM_EXPECTS(knobs_.synth_max_pairs >= 2);
 }
 
 std::uint64_t ScenarioGenerator::derive_seed(std::uint64_t campaign_seed,
@@ -306,7 +376,14 @@ Scenario ScenarioGenerator::generate(std::uint64_t index) const {
   const bool forbid_cycles = knobs_.cycle_bias == CycleBias::kForbid;
   const bool family =
       !forbid_cycles && rng.chance(knobs_.family_fraction);
-  Scenario s = family ? sample_family(rng) : sample_random_algorithm(rng);
+  // The synthesized draw happens only when the knob is on: at fraction 0 no
+  // generator randomness is consumed, so pinned campaigns that predate the
+  // knob keep their exact bytes.
+  const bool synthesized = !family && knobs_.synthesized_fraction > 0 &&
+                           rng.chance(knobs_.synthesized_fraction);
+  Scenario s = family        ? sample_family(rng)
+               : synthesized ? sample_synthesized(rng)
+                             : sample_random_algorithm(rng);
   s.index = index;
   // Random-algorithm scenarios carry the per-attempt materialization seed
   // chosen inside the sampler (cycle-bias retries must keep the seed that
@@ -454,10 +531,52 @@ Scenario ScenarioGenerator::sample_random_algorithm(util::Rng& rng) const {
   return s;
 }
 
+Scenario ScenarioGenerator::sample_synthesized(util::Rng& rng) const {
+  // Topologies stay small: the exact placement search behind the existence
+  // analyzer is exponential in the worst case, and the campaign needs every
+  // scenario in the millisecond range.
+  Scenario s;
+  s.kind = ScenarioKind::kSynthesized;
+  s.seed = rng.next_u64();  // demand-sampling stream
+  switch (irange(rng, 0, 4)) {
+    case 0:
+      s.topology = TopologyKind::kUniRing;
+      s.nodes = irange(rng, 3, 6);
+      break;
+    case 1:
+      s.topology = TopologyKind::kBiRing;
+      s.nodes = irange(rng, 3, 5);
+      break;
+    case 2:
+      s.topology = TopologyKind::kMesh;
+      s.dims = {irange(rng, 2, 3), irange(rng, 2, 3)};
+      break;
+    case 3:
+      s.topology = TopologyKind::kHypercube;
+      s.nodes = irange(rng, 2, 3);
+      break;
+    case 4:
+      s.topology = TopologyKind::kComplete;
+      s.nodes = irange(rng, 3, 5);
+      break;
+    default:
+      WORMSIM_UNREACHABLE("bad synthesized topology draw");
+  }
+  if ((s.topology == TopologyKind::kMesh ||
+       s.topology == TopologyKind::kBiRing ||
+       s.topology == TopologyKind::kUniRing) &&
+      rng.chance(knobs_.perturb_fraction)) {
+    s.extra_chords = irange(rng, 1, knobs_.max_extra_chords);
+  }
+  s.pairs = irange(rng, 2, std::max(2, knobs_.synth_max_pairs));
+  return s;
+}
+
 const char* to_string(ScenarioKind kind) {
   switch (kind) {
     case ScenarioKind::kFamily: return "family";
     case ScenarioKind::kRandomAlgorithm: return "random";
+    case ScenarioKind::kSynthesized: return "synthesized";
   }
   WORMSIM_UNREACHABLE("bad ScenarioKind");
 }

@@ -20,6 +20,7 @@
 #include "cdg/cdg.hpp"
 #include "core/cyclic_family.hpp"
 #include "routing/routing.hpp"
+#include "synth/existence.hpp"
 #include "topo/builders.hpp"
 #include "util/rng.hpp"
 
@@ -28,6 +29,7 @@ namespace wormsim::campaign {
 enum class ScenarioKind : std::uint8_t {
   kFamily,           ///< paper ring family (CyclicFamilySpec)
   kRandomAlgorithm,  ///< random N x N -> C algorithm on a random topology
+  kSynthesized,      ///< table synthesized from an existence certificate
 };
 
 enum class TopologyKind : std::uint8_t {
@@ -86,6 +88,15 @@ struct GeneratorKnobs {
   /// mesh/ring base, and the chord-count cap.
   double perturb_fraction = 0.25;
   int max_extra_chords = 3;
+  // -- synthesized-routing knobs --------------------------------------------
+  /// Fraction of non-family scenarios drawn from the synthesized-routing
+  /// class (src/synth: existence certificate compiled into a table, checked
+  /// against the search). The default 0 draws nothing AND consumes no
+  /// generator randomness, so existing pinned-seed campaign bytes are
+  /// unchanged until a run opts in.
+  double synthesized_fraction = 0.0;
+  /// Demand size range for synthesized scenarios (sampled pair count).
+  int synth_max_pairs = 6;
 };
 
 /// One generated test case. Everything the campaign does downstream
@@ -105,6 +116,10 @@ struct Scenario {
   std::uint16_t lanes = 1;
   int extra_chords = 0;  ///< random chord channels added after construction
   RoutingFlavor flavor = RoutingFlavor::kRandomTree;
+
+  /// kSynthesized payload (topology fields above are shared): number of
+  /// demand pairs to sample from seed ^ kPairSalt during materialization.
+  int pairs = 0;
 
   /// Ring messages routed through c_s (kFamily only).
   [[nodiscard]] int sharing_count() const;
@@ -129,12 +144,18 @@ struct Scenario {
 
 /// A scenario turned into live objects. For kFamily the CyclicFamily owns
 /// network and algorithm; for kRandomAlgorithm the network, algorithm and
-/// channel dependency graph are owned here.
+/// channel dependency graph are owned here. For kSynthesized the algorithm
+/// is the table compiled from the existence certificate — absent (null)
+/// when the analyzer refused or ran out of budget.
 struct MaterializedScenario {
   std::unique_ptr<core::CyclicFamily> family;
   std::unique_ptr<topo::Network> net;
   std::unique_ptr<routing::RoutingAlgorithm> alg;
   std::unique_ptr<cdg::ChannelDependencyGraph> graph;  ///< kRandomAlgorithm
+
+  // kSynthesized payload: the sampled demand and its certificate.
+  std::vector<synth::NodePair> demand;
+  std::unique_ptr<synth::ExistenceCertificate> certificate;
 
   [[nodiscard]] const routing::RoutingAlgorithm& algorithm() const {
     if (family) return family->algorithm();
@@ -174,6 +195,7 @@ class ScenarioGenerator {
  private:
   [[nodiscard]] Scenario sample_family(util::Rng& rng) const;
   [[nodiscard]] Scenario sample_random_algorithm(util::Rng& rng) const;
+  [[nodiscard]] Scenario sample_synthesized(util::Rng& rng) const;
 
   std::uint64_t campaign_seed_;
   GeneratorKnobs knobs_;

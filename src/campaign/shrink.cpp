@@ -106,6 +106,13 @@ void random_algorithm_steps(const Scenario& scenario,
     candidate.lanes = 1;
     out.push_back(std::move(candidate));
   }
+  // Synthesized scenarios additionally shrink the demand size (the sampled
+  // pair prefix is deterministic, so fewer pairs is a strict sub-demand).
+  if (scenario.kind == ScenarioKind::kSynthesized && scenario.pairs > 1) {
+    Scenario candidate = scenario;
+    --candidate.pairs;
+    out.push_back(std::move(candidate));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,57 @@
+// JSON serialization for PathTable routing tables ("wormsim-table-v1").
+//
+// Synthesized tables (src/synth) are saved to disk, replayed by
+// tools/wormsim_synth verify, and loaded by tools/wormsim_saturation
+// --routing-file. The format pins the topology shape (node/channel counts)
+// so a table cannot be silently applied to the wrong network:
+//
+//   {
+//     "schema":   "wormsim-table-v1",
+//     "name":     "synth-cyclic",
+//     "nodes":    18,
+//     "channels": 42,
+//     "paths": [ {"src": 0, "dst": 5, "channels": [3, 7, 9]}, ... ]
+//   }
+//
+// Loading validates everything PathTable::add_path would abort on —
+// endpoint/channel ranges, walk-ness, duplicate pairs, the routing-function
+// property — and returns an error string instead, so untrusted files are
+// safe to load.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "routing/table_routing.hpp"
+
+namespace wormsim::routing {
+
+inline constexpr std::string_view kTableSchema = "wormsim-table-v1";
+
+/// Serializes `table` (paths in registration order).
+[[nodiscard]] std::string table_to_json(const PathTable& table);
+
+/// Result of parsing/loading: exactly one of `table` (success) or `error`
+/// (human-readable reason) is set.
+struct TableLoadResult {
+  std::unique_ptr<PathTable> table;
+  std::string error;
+  [[nodiscard]] bool ok() const { return table != nullptr; }
+};
+
+/// Parses a wormsim-table-v1 document and validates it against `net`
+/// (which must outlive the returned table).
+[[nodiscard]] TableLoadResult table_from_json(const topo::Network& net,
+                                              std::string_view text);
+
+/// Writes table_to_json(table) to `path`. Returns false (and fills *error
+/// if given) on I/O failure.
+bool write_table_file(const PathTable& table, const std::string& path,
+                      std::string* error = nullptr);
+
+/// Reads `path` and parses it with table_from_json.
+[[nodiscard]] TableLoadResult load_table_file(const topo::Network& net,
+                                              const std::string& path);
+
+}  // namespace wormsim::routing

@@ -1,0 +1,147 @@
+#include "synth/instances.hpp"
+
+#include <utility>
+
+#include "cdg/cdg.hpp"
+#include "core/cyclic_family.hpp"
+#include "core/paper_networks.hpp"
+#include "routing/datacenter.hpp"
+#include "topo/builders.hpp"
+#include "topo/datacenter.hpp"
+#include "util/assert.hpp"
+
+namespace wormsim::synth {
+
+namespace {
+
+/// Instance from one of the paper's cyclic-family figures: the demand is
+/// the figure's message pairs, and the paper's own routes seed the cyclic
+/// search.
+SynthInstance from_family(std::string name, std::string description,
+                          core::CyclicFamilySpec spec) {
+  const core::CyclicFamily family(std::move(spec));
+  SynthInstance inst;
+  inst.name = std::move(name);
+  inst.description = std::move(description);
+  inst.net = std::make_unique<topo::Network>(family.net());
+  for (const core::CyclicFamily::MessageInfo& m : family.messages()) {
+    inst.pairs.push_back({m.source, m.dest});
+    inst.seed_paths.push_back({m.source, m.dest, m.path});
+  }
+  inst.expectation = Expectation::kOpen;
+  return inst;
+}
+
+/// Hint ordering from a known-acyclic algorithm: its CDG's Dally–Seitz
+/// numbering strictly increases along every route, so it certifies the
+/// algorithm's own pair set immediately.
+std::vector<std::uint32_t> numbering_hint(
+    const routing::RoutingAlgorithm& alg) {
+  const cdg::ChannelDependencyGraph graph =
+      cdg::ChannelDependencyGraph::build(alg);
+  if (auto numbering = graph.topological_numbering()) return *numbering;
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::string> instance_names() {
+  return {"fig1",     "fig2",     "fig3a",      "fig3f",    "ring4",
+          "ring6",    "biring6",  "mesh3x3",    "torus3x3", "hypercube3",
+          "fullmesh8", "fattree4", "dragonfly9"};
+}
+
+bool is_instance_name(std::string_view name) {
+  for (const std::string& n : instance_names())
+    if (n == name) return true;
+  return false;
+}
+
+SynthInstance make_synth_instance(std::string_view name) {
+  WORMSIM_EXPECTS_MSG(is_instance_name(name), "unknown synth instance");
+  if (name == "fig1")
+    return from_family("fig1",
+                       "paper Figure 1 (four messages, cyclic-CDG table)",
+                       core::fig1_spec());
+  if (name == "fig2")
+    return from_family("fig2",
+                       "paper Figure 2 (two sharers; paper table deadlocks)",
+                       core::fig2_spec());
+  if (name == "fig3a")
+    return from_family(
+        "fig3a", "paper Figure 3(a) (three sharers, false resource cycle)",
+        core::fig3_spec(core::Fig3Variant::kA));
+  if (name == "fig3f")
+    return from_family(
+        "fig3f", "paper Figure 3(f) (interposed fourth message, deadlock)",
+        core::fig3_spec(core::Fig3Variant::kF));
+
+  SynthInstance inst;
+  inst.name = std::string(name);
+  if (name == "ring4" || name == "ring6") {
+    const int n = name == "ring4" ? 4 : 6;
+    inst.description = "unidirectional ring, all pairs (no robust routing)";
+    inst.net = std::make_unique<topo::Network>(
+        topo::make_unidirectional_ring(n));
+    inst.pairs = all_pairs(*inst.net);
+    inst.expectation = Expectation::kMustNotExist;
+    return inst;
+  }
+  if (name == "biring6") {
+    inst.description = "bidirectional ring of 6, all pairs";
+    inst.net = std::make_unique<topo::Network>(
+        topo::make_bidirectional_ring(6));
+    inst.pairs = all_pairs(*inst.net);
+    inst.expectation = Expectation::kMustExist;
+    return inst;
+  }
+  if (name == "mesh3x3" || name == "torus3x3") {
+    const bool wrap = name == "torus3x3";
+    inst.description = wrap ? "3x3 torus, all pairs" : "3x3 mesh, all pairs";
+    const topo::Grid grid = wrap ? topo::make_torus({3, 3})
+                                 : topo::make_mesh({3, 3});
+    inst.net = std::make_unique<topo::Network>(grid.net());
+    inst.pairs = all_pairs(*inst.net);
+    inst.expectation = Expectation::kMustExist;
+    return inst;
+  }
+  if (name == "hypercube3") {
+    inst.description = "3-dimensional hypercube, all pairs";
+    inst.net = std::make_unique<topo::Network>(topo::make_hypercube(3));
+    inst.pairs = all_pairs(*inst.net);
+    inst.expectation = Expectation::kMustExist;
+    return inst;
+  }
+  if (name == "fullmesh8") {
+    inst.description = "8-node full mesh, all pairs (direct routing)";
+    inst.net = std::make_unique<topo::Network>(topo::make_complete(8));
+    inst.pairs = all_pairs(*inst.net);
+    inst.expectation = Expectation::kMustExist;
+    return inst;
+  }
+  if (name == "fattree4") {
+    inst.description = "k=4 fat-tree, all host pairs";
+    const topo::FatTree tree(4);
+    const routing::FatTreeUpDown updown(tree);
+    inst.hint_order = numbering_hint(updown);
+    inst.net = std::make_unique<topo::Network>(tree.net());
+    inst.pairs = terminal_pairs(tree.hosts());
+    inst.expectation = Expectation::kMustExist;
+    return inst;
+  }
+  WORMSIM_ASSERT(name == "dragonfly9");
+  inst.description = "9-router dragonfly (a=3 h=1 g=3 p=1), terminal pairs";
+  const topo::Dragonfly fabric(
+      topo::DragonflySpec{.routers_per_group = 3,
+                          .global_links = 1,
+                          .groups = 3,
+                          .terminals_per_router = 1});
+  const routing::DragonflyMinimal minimal(fabric);
+  inst.hint_order = numbering_hint(minimal);
+  inst.net = std::make_unique<topo::Network>(fabric.net());
+  inst.pairs = terminal_pairs(fabric.terminals());
+  inst.expectation = Expectation::kMustExist;
+  return inst;
+}
+
+}  // namespace wormsim::synth

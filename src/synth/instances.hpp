@@ -1,0 +1,48 @@
+// Named synthesis problems shared by tests, tools/wormsim_synth and the
+// campaign: a topology, the demand pairs, and (when a known-good design
+// exists) seed routes / a hint ordering that let the analyzer and the
+// cyclic search start from the literature's answer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "routing/table_routing.hpp"
+#include "synth/existence.hpp"
+
+namespace wormsim::synth {
+
+/// What the literature lets us pin about an instance's existence verdict.
+enum class Expectation : std::uint8_t {
+  kMustExist,     ///< a robust (acyclic-CDG) routing is known
+  kMustNotExist,  ///< provably no increasing ordering (e.g. full uni-ring)
+  kOpen,          ///< assert only analyzer/synthesizer consistency
+};
+
+struct SynthInstance {
+  std::string name;
+  std::string description;
+  std::unique_ptr<topo::Network> net;
+  std::vector<NodePair> pairs;
+  /// Known-good routes, tried first by the cyclic search (e.g. the source
+  /// paper's Figure-1 table).
+  std::vector<routing::PathSpec> seed_paths;
+  /// Known-good channel ranking (e.g. a Dally–Seitz numbering of a
+  /// known-acyclic algorithm's CDG), fed to the analyzer as hint_order.
+  std::vector<std::uint32_t> hint_order;
+  Expectation expectation = Expectation::kOpen;
+};
+
+/// All instance names, in menu order: fig1, fig2, fig3a, fig3f, ring4,
+/// ring6, biring6, mesh3x3, torus3x3, hypercube3, fullmesh8, fattree4,
+/// dragonfly9.
+[[nodiscard]] std::vector<std::string> instance_names();
+
+[[nodiscard]] bool is_instance_name(std::string_view name);
+
+/// Builds the named instance. Precondition: is_instance_name(name).
+[[nodiscard]] SynthInstance make_synth_instance(std::string_view name);
+
+}  // namespace wormsim::synth

@@ -20,6 +20,7 @@
 
 #include "campaign/runner.hpp"
 #include "obs/json.hpp"
+#include "obs/status.hpp"
 
 namespace wormsim::campaign {
 namespace {
@@ -129,6 +130,36 @@ TEST(StatusSchemaDoc, ManualTablesParse) {
     for (const DocField& f : parse_table(doc, heading))
       EXPECT_EQ(f.presence, "always")
           << f.name << ": status fields never come and go";
+}
+
+TEST(StatusSchemaDoc, KindRowListsEveryProducerKind) {
+  // Direction 1: every kind a producer emits is documented in the schema
+  // table's `kind` row.
+  const std::string doc = read_file(manual_path());
+  ASSERT_FALSE(doc.empty());
+  const auto at = doc.find("| `kind` |");
+  ASSERT_NE(at, std::string::npos);
+  const std::string line = doc.substr(at, doc.find('\n', at) - at);
+  for (const char* kind : {"campaign", "search", "saturation", "synth"})
+    EXPECT_NE(line.find("`" + std::string(kind) + "`"), std::string::npos)
+        << "kind '" << kind << "' missing from the schema table";
+}
+
+TEST(StatusSchemaDoc, SynthKindRoundTripsThroughTheEmitter) {
+  // Direction 2: a "synth" snapshot (wormsim_synth's heartbeat) serializes
+  // and parses back with the kind intact and the full v2 schema around it.
+  obs::StatusSnapshot snap;
+  snap.kind = "synth";
+  snap.count = 13;
+  snap.done = 4;
+  snap.agree = 4;
+  const auto parsed = obs::json::parse(snap.to_json());
+  ASSERT_TRUE(parsed.has_value() && parsed->is_object());
+  EXPECT_EQ(parsed->find("schema")->as_string(), "wormsim-status-v2");
+  EXPECT_EQ(parsed->find("kind")->as_string(), "synth");
+  const obs::json::Value& progress = *parsed->find("progress");
+  EXPECT_EQ(progress.find("count")->as_u64(), 13u);
+  EXPECT_EQ(progress.find("agree")->as_u64(), 4u);
 }
 
 TEST(StatusSchemaDoc, EmittedSnapshotMatchesTheManualFieldForField) {

@@ -48,8 +48,15 @@ wormsim_test(campaign_tests
   campaign/jsonl_schema_test.cpp
   campaign/status_schema_test.cpp
   campaign/fixture_test.cpp
-  campaign/reduction_campaign_test.cpp)
+  campaign/reduction_campaign_test.cpp
+  campaign/synth_campaign_test.cpp)
 target_link_libraries(campaign_tests PRIVATE wormsim_campaign)
 target_compile_definitions(campaign_tests PRIVATE
   WORMSIM_TEST_DATA_DIR="${CMAKE_CURRENT_SOURCE_DIR}"
   WORMSIM_REPO_ROOT="${CMAKE_SOURCE_DIR}")
+
+wormsim_test(synth_tests
+  synth/existence_test.cpp
+  synth/synthesize_test.cpp
+  synth/certificate_test.cpp)
+target_link_libraries(synth_tests PRIVATE wormsim_synth)

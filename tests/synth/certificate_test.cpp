@@ -1,0 +1,167 @@
+// Negative certificates (satellite: the analyzer's kNotExists verdict is
+// not just "our search gave up" — it matches ground truth). The gadget is a
+// unidirectional 4-ring with a chord 0->2 under all-pairs demand: the
+// unique-path pairs force the rank chain c1<c2<c3<c0, which leaves pair
+// (0,3) with no increasing path on either of its two routes. The test
+// enumerates EVERY candidate routing table (cartesian product of each
+// pair's candidate simple paths, filtered by the routing-function
+// property) and checks the exhaustive search's verdict on each against the
+// analyzer's obstruction certificate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cdg/cdg.hpp"
+#include "core/analyzer.hpp"
+#include "routing/table_routing.hpp"
+#include "synth/existence.hpp"
+#include "synth/synthesize.hpp"
+#include "topo/builders.hpp"
+#include "topo/network.hpp"
+
+namespace wormsim::synth {
+namespace {
+
+/// Unidirectional 4-ring (channels i -> i+1 mod 4) plus the chord 0 -> 2.
+topo::Network make_chorded_ring() {
+  topo::Network net = topo::make_unidirectional_ring(4);
+  net.add_channel(NodeId{0}, NodeId{2}, 0);
+  return net;
+}
+
+/// One complete pair -> path assignment, checked for the routing-function
+/// property (same destination through the same channel must continue the
+/// same way; one initial channel per (src, dst)). Mirrors what
+/// PathTable::add_path enforces, but as a predicate instead of an abort.
+bool function_consistent(const topo::Network& net,
+                         std::span<const NodePair> pairs,
+                         std::span<const std::size_t> choice,
+                         const std::vector<std::vector<std::vector<ChannelId>>>&
+                             candidates) {
+  std::unordered_map<std::uint64_t, std::uint32_t> next;
+  const auto key = [](std::uint32_t a, std::uint32_t b) {
+    return (std::uint64_t{a} << 32) | b;
+  };
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const std::vector<ChannelId>& path = candidates[i][choice[i]];
+    const std::uint32_t dst = pairs[i].dst.index();
+    for (std::size_t hop = 0; hop + 1 < path.size(); ++hop) {
+      const auto [it, inserted] = next.emplace(
+          key(path[hop].index(), dst), path[hop + 1].index());
+      if (!inserted && it->second != path[hop + 1].index()) return false;
+    }
+  }
+  (void)net;
+  return true;
+}
+
+std::unique_ptr<routing::PathTable> build_table(
+    const topo::Network& net, std::span<const NodePair> pairs,
+    std::span<const std::size_t> choice,
+    const std::vector<std::vector<std::vector<ChannelId>>>& candidates) {
+  auto table = std::make_unique<routing::PathTable>(net, "gadget-candidate");
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    table->add_path({pairs[i].src, pairs[i].dst, candidates[i][choice[i]]});
+  return table;
+}
+
+TEST(Certificate, ChordedRingObstructionMatchesExhaustiveSearch) {
+  const topo::Network net = make_chorded_ring();
+  const std::vector<NodePair> pairs = all_pairs(net);
+  ASSERT_EQ(pairs.size(), 12u);
+
+  // The analyzer refuses with a checkable obstruction core.
+  const ExistenceCertificate cert = analyze_existence(net, pairs);
+  ASSERT_EQ(cert.verdict, ExistenceVerdict::kNotExists);
+  ASSERT_FALSE(cert.obstruction.core.empty());
+  const ExistenceCertificate again =
+      analyze_existence(net, cert.obstruction.core);
+  EXPECT_EQ(again.verdict, ExistenceVerdict::kNotExists);
+
+  // Candidate routes per pair: shortest plus one hop of slack covers every
+  // simple path in this gadget (the ring detour vs the chord shortcut).
+  std::vector<std::vector<std::vector<ChannelId>>> candidates;
+  std::size_t total = 1;
+  for (const NodePair& pair : pairs) {
+    candidates.push_back(enumerate_paths(net, pair, /*max_paths=*/8,
+                                         /*max_slack=*/1));
+    ASSERT_FALSE(candidates.back().empty());
+    total *= candidates.back().size();
+  }
+  // Exactly the hand-counted gadget: (0,2), (0,3), (3,2) have the chord
+  // alternative, every other pair routes uniquely.
+  EXPECT_EQ(total, 8u);
+
+  // Odometer over the full cartesian product of assignments.
+  std::vector<std::size_t> choice(pairs.size(), 0);
+  std::size_t tables = 0;
+  for (;;) {
+    if (function_consistent(net, pairs, choice, candidates)) {
+      const auto table = build_table(net, pairs, choice, candidates);
+      ++tables;
+
+      // The certificate's direct consequence: no candidate has an acyclic
+      // CDG (otherwise an increasing ordering would exist).
+      EXPECT_FALSE(cdg::ChannelDependencyGraph::build(*table).acyclic());
+
+      // The stronger ground truth for this gadget: every candidate's
+      // cyclic dependencies are actually reachable — there is no
+      // deadlock-free routing at all, not even a synchronous-only one.
+      const core::AlgorithmAnalysis analysis = core::analyze_algorithm(*table);
+      EXPECT_EQ(analysis.verdict, core::CycleVerdict::kDeadlockReachable)
+          << "candidate " << tables << " does not deadlock";
+    }
+    std::size_t digit = 0;
+    while (digit < choice.size() &&
+           ++choice[digit] == candidates[digit].size()) {
+      choice[digit] = 0;
+      ++digit;
+    }
+    if (digit == choice.size()) break;
+  }
+  EXPECT_GE(tables, 1u);
+}
+
+TEST(Certificate, PureRingSingleCandidateDeadlocks) {
+  // The degenerate baseline: a chordless unidirectional 4-ring has exactly
+  // one routing table, and it deadlocks.
+  const topo::Network net = topo::make_unidirectional_ring(4);
+  const std::vector<NodePair> pairs = all_pairs(net);
+
+  const ExistenceCertificate cert = analyze_existence(net, pairs);
+  ASSERT_EQ(cert.verdict, ExistenceVerdict::kNotExists);
+
+  routing::PathTable table(net, "ring4-unique");
+  std::size_t total = 1;
+  for (const NodePair& pair : pairs) {
+    const auto paths = enumerate_paths(net, pair, 8, 4);
+    ASSERT_EQ(paths.size(), 1u);
+    total *= paths.size();
+    table.add_path({pair.src, pair.dst, paths.front()});
+  }
+  EXPECT_EQ(total, 1u);
+  EXPECT_EQ(core::analyze_algorithm(table).verdict,
+            core::CycleVerdict::kDeadlockReachable);
+}
+
+TEST(Certificate, ObstructionCoreIsNecessary) {
+  // Dropping any single pair from a minimized core must make the rest
+  // satisfiable — i.e. the greedy minimizer left nothing removable.
+  const topo::Network net = make_chorded_ring();
+  const ExistenceCertificate cert = analyze_existence(net, all_pairs(net));
+  ASSERT_EQ(cert.verdict, ExistenceVerdict::kNotExists);
+  if (!cert.obstruction.minimized) GTEST_SKIP() << "minimization budget hit";
+  for (std::size_t drop = 0; drop < cert.obstruction.core.size(); ++drop) {
+    std::vector<NodePair> rest;
+    for (std::size_t i = 0; i < cert.obstruction.core.size(); ++i)
+      if (i != drop) rest.push_back(cert.obstruction.core[i]);
+    const ExistenceCertificate sub = analyze_existence(net, rest);
+    EXPECT_EQ(sub.verdict, ExistenceVerdict::kExists)
+        << "pair " << drop << " is removable from the core";
+  }
+}
+
+}  // namespace
+}  // namespace wormsim::synth

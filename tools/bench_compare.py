@@ -52,6 +52,10 @@ INFORM = [
     # (offered/delivered/latency/event counters) stay exact-gated.
     "cores.*",
     "sweep.*wall_seconds",
+    # wormsim_synth: verdicts, table kinds, CDG cyclicity, consistency and
+    # obstruction sizes are deterministic and stay exact-gated; only the
+    # per-instance wall-clock rows are machine-dependent.
+    "synth.*wall_seconds",
     "total_wall_seconds",
 ]
 INFORM_LABELS = ["truth_cache"]

@@ -50,7 +50,8 @@ int usage(const char* argv0) {
                "usage: %s [--seed N] [--count N] [--shards N] [--out FILE]\n"
                "          [--cache-file FILE] [--shard-index I --shard-total N]\n"
                "          [--fixture-dir DIR] [--max-states N]\n"
-               "          [--bias any|force|forbid] [--reduction off|safe|on]\n"
+               "          [--bias any|force|forbid] [--synth-fraction F]\n"
+               "          [--synth-pairs N] [--reduction off|safe|on]\n"
                "          [--cross-check-reduction] [--search-threads N]\n"
                "          [--probe-out-of-scope] [--profile] [--no-shrink]\n"
                "          [--status-file FILE] [--status-interval SECONDS]\n"
@@ -301,6 +302,22 @@ int main(int argc, char** argv) {
       } else {
         return usage(argv[0]);
       }
+    } else if (arg == "--synth-fraction") {
+      // Fraction of non-family scenarios drawn from the synthesized-routing
+      // class (existence certificate compiled to a table, cross-checked by
+      // the search). 0 keeps legacy campaign bytes unchanged.
+      char* end = nullptr;
+      config.knobs.synthesized_fraction = std::strtod(value(), &end);
+      if (end == argv[i] || *end != '\0' ||
+          config.knobs.synthesized_fraction < 0 ||
+          config.knobs.synthesized_fraction > 1) {
+        std::fprintf(stderr,
+                     "wormsim_campaign: bad value for --synth-fraction\n");
+        return 2;
+      }
+    } else if (arg == "--synth-pairs") {
+      config.knobs.synth_max_pairs =
+          static_cast<int>(parse_u64(value(), "--synth-pairs"));
     } else if (arg == "--status-file") {
       // Live heartbeat (docs/observability.md); watch with wormsim_status.
       config.status_file = value();

@@ -43,6 +43,7 @@
 #include "obs/status.hpp"
 #include "routing/datacenter.hpp"
 #include "routing/dor.hpp"
+#include "routing/table_io.hpp"
 #include "sim/arbitration.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workloads.hpp"
@@ -61,7 +62,7 @@ int usage(const char* argv0) {
       "          [--pattern uniform|transpose|bitrev|hotspot]\n"
       "          [--loads L1,L2,...] [--length N] [--horizon N] [--drain N]\n"
       "          [--seed N] [--core event|cycle] [--core-compare N1,N2,...]\n"
-      "          [--report NAME] [--status-file FILE]\n"
+      "          [--routing-file FILE] [--report NAME] [--status-file FILE]\n"
       "          [--status-interval SECONDS] [--quiet]\n"
       "exit: 0 done, 2 usage; see docs/observability.md for the report\n",
       argv0);
@@ -198,6 +199,7 @@ struct Options {
   std::uint64_t seed = 1;
   sim::SimCore core = sim::SimCore::kEvent;
   std::vector<std::uint64_t> core_compare;
+  std::string routing_file;
   std::string report_name = "saturation";
   std::string status_file;
   double status_interval = 1.0;
@@ -264,6 +266,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--core-compare") {
       opt.core_compare = parse_u64s(next("--core-compare"), "--core-compare");
+    } else if (arg == "--routing-file") {
+      opt.routing_file = next("--routing-file");
     } else if (arg == "--report") {
       opt.report_name = next("--report");
     } else if (arg == "--status-file") {
@@ -286,6 +290,32 @@ int main(int argc, char** argv) {
     fabric = build_fullmesh(opt.nodes);
   } else {
     return usage(argv[0]);
+  }
+  // A synthesized table (wormsim-table-v1, e.g. from wormsim_synth
+  // --out-dir) replaces the fabric's built-in algorithm. The loader pins the
+  // topology shape; we additionally require every terminal pair routed so
+  // the workload generator cannot draw an unroutable pair.
+  if (!opt.routing_file.empty()) {
+    routing::TableLoadResult loaded =
+        routing::load_table_file(fabric.alg->net(), opt.routing_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "wormsim_saturation: %s: %s\n",
+                   opt.routing_file.c_str(), loaded.error.c_str());
+      return 2;
+    }
+    for (const NodeId src : fabric.terminals) {
+      for (const NodeId dst : fabric.terminals) {
+        if (src != dst && !loaded.table->routes(src, dst)) {
+          std::fprintf(stderr,
+                       "wormsim_saturation: %s routes no path for terminal "
+                       "pair %u->%u\n",
+                       opt.routing_file.c_str(), src.value(), dst.value());
+          return 2;
+        }
+      }
+    }
+    fabric.label += "+" + loaded.table->name();
+    fabric.alg = std::move(loaded.table);
   }
   const topo::Network& net = fabric.alg->net();
 

@@ -146,10 +146,12 @@ void print_row(const std::string& label, const Row& row) {
                 static_cast<double>(row.slice)
           : 0;
   std::printf(
-      "%-28s %s seq=%llu %6.1f%% done=%llu/%llu agree=%llu disagree=%llu "
+      "%-28s %s %-10s seq=%llu %6.1f%% done=%llu/%llu agree=%llu "
+      "disagree=%llu "
       "skip=%llu rate=%.1f/s eta=%s cache-hit=%.0f%% search[%s states=%llu "
       "keys=%llu workers=%zu]\n",
       label.c_str(), row.running ? "RUN " : "DONE",
+      row.kind.empty() ? "?" : row.kind.c_str(),
       static_cast<unsigned long long>(row.seq), pct,
       static_cast<unsigned long long>(row.done),
       static_cast<unsigned long long>(row.slice),
@@ -169,6 +171,7 @@ bool render(const std::vector<std::string>& files, bool* any_ok) {
   Row total;
   total.ok = true;
   total.eta = -1;
+  total.kind = "-";
   for (const std::string& path : files) {
     const Row row = read_row(path);
     print_row(path, row);

@@ -1,0 +1,424 @@
+// wormsim_synth — deadlock-free routing existence analysis and oblivious
+// routing-table synthesis on the built-in instance menu (src/synth).
+//
+// Modes:
+//   analyze     run the existence analyzer and re-check every certificate
+//               (witness orderings through verify_order, obstruction cores
+//               by re-analysis on the core alone).
+//   synthesize  run the full synthesizer (cyclic-CDG search first, then
+//               the ordering-derived acyclic table), verify every emitted
+//               table with the exhaustive deadlock search and a simulator
+//               drain run, and optionally dump tables as wormsim-table-v1
+//               JSON (--out-dir).
+//   verify      load a previously dumped table (--table) against an
+//               instance's network and re-verify it from scratch.
+//
+// Usage:
+//   wormsim_synth analyze|synthesize [--instances NAME,...|all]
+//                 [--goal cyclic|acyclic] [--max-states N]
+//                 [--max-assignments N] [--out-dir DIR] [--report NAME]
+//                 [--status-file FILE] [--status-interval SECONDS] [--quiet]
+//   wormsim_synth verify --instance NAME --table FILE [--quiet]
+//
+// The run lands in BENCH_synth.json (obs::RunReport, gated by
+// tools/bench_compare.py; the engines are deterministic, so every row
+// except *.wall_seconds is byte-reproducible). The heartbeat
+// (--status-file) publishes "wormsim-status-v2" snapshots of kind "synth":
+// progress counts instances, and the worker row mirrors per-instance
+// agree/disagree totals (an instance "agrees" when its certificates and
+// cross-checks are consistent).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/run_report.hpp"
+#include "obs/status.hpp"
+#include "routing/table_io.hpp"
+#include "synth/instances.hpp"
+#include "synth/synthesize.hpp"
+
+using namespace wormsim;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s analyze|synthesize [--instances NAME,...|all]\n"
+      "          [--goal cyclic|acyclic] [--max-states N]\n"
+      "          [--max-assignments N] [--out-dir DIR] [--report NAME]\n"
+      "          [--status-file FILE] [--status-interval SECONDS] [--quiet]\n"
+      "       %s verify --instance NAME --table FILE [--quiet]\n"
+      "instances: fig1 fig2 fig3a fig3f ring4 ring6 biring6 mesh3x3\n"
+      "           torus3x3 hypercube3 fullmesh8 fattree4 dragonfly9\n"
+      "exit: 0 all consistent, 1 inconsistency/deadlock, 2 usage, 3 I/O\n",
+      argv0, argv0);
+  return 2;
+}
+
+std::uint64_t parse_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "wormsim_synth: bad value for %s: '%s'\n", flag,
+                 text);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<std::string> split_names(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    out.push_back(text.substr(
+        start, comma == std::string::npos ? comma : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct Options {
+  std::string mode;
+  std::vector<std::string> instances;
+  synth::SynthesisGoal goal = synth::SynthesisGoal::kPreferCyclic;
+  std::uint64_t max_states = 250'000;
+  std::uint64_t max_assignments = 64;
+  std::string out_dir;
+  std::string table_file;
+  std::string report = "synth";
+  std::string status_file;
+  double status_interval = 1.0;
+  bool quiet = false;
+};
+
+/// Shared per-run status board; the sampler thread reads it under the
+/// mutex while the (single-threaded) run mutates it between instances.
+struct StatusBoard {
+  std::mutex mu;
+  obs::StatusSnapshot snapshot;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One instance's outcome, already cross-checked. `consistent` is the
+/// AND of every certificate/verifier agreement the mode performed.
+struct InstanceOutcome {
+  std::string name;
+  synth::ExistenceVerdict verdict = synth::ExistenceVerdict::kInconclusive;
+  std::string method;
+  synth::TableKind kind = synth::TableKind::kNone;
+  bool cdg_cyclic = false;
+  std::uint64_t states = 0;
+  std::uint64_t assignments = 0;
+  std::uint64_t obstruction_pairs = 0;
+  bool consistent = true;
+  std::string detail;
+  double wall_seconds = 0;
+};
+
+void fail(InstanceOutcome& out, const std::string& why) {
+  out.consistent = false;
+  out.detail = out.detail.empty() ? why : out.detail + "; " + why;
+}
+
+InstanceOutcome run_analyze(const synth::SynthInstance& inst,
+                            const Options& opt) {
+  InstanceOutcome out;
+  out.name = inst.name;
+  const auto t0 = std::chrono::steady_clock::now();
+  synth::ExistenceOptions eopt;
+  eopt.max_states = opt.max_states;
+  eopt.hint_order = inst.hint_order;
+  const synth::ExistenceCertificate cert =
+      synth::analyze_existence(*inst.net, inst.pairs, eopt);
+  out.verdict = cert.verdict;
+  out.method = cert.method;
+  out.states = cert.states_searched + cert.obstruction.states_searched;
+  out.obstruction_pairs = cert.obstruction.core.size();
+
+  switch (cert.verdict) {
+    case synth::ExistenceVerdict::kExists:
+      if (!synth::verify_order(*inst.net, inst.pairs, cert.order))
+        fail(out, "witness ordering fails verify_order");
+      break;
+    case synth::ExistenceVerdict::kNotExists: {
+      // The obstruction core must itself be refused.
+      const synth::ExistenceCertificate again = synth::analyze_existence(
+          *inst.net, cert.obstruction.core, eopt);
+      if (again.verdict != synth::ExistenceVerdict::kNotExists)
+        fail(out, "obstruction core not reproduced on re-analysis");
+      break;
+    }
+    case synth::ExistenceVerdict::kInconclusive:
+      break;
+  }
+  if (inst.expectation == synth::Expectation::kMustExist &&
+      cert.verdict != synth::ExistenceVerdict::kExists)
+    fail(out, "known-good instance did not certify");
+  if (inst.expectation == synth::Expectation::kMustNotExist &&
+      cert.verdict != synth::ExistenceVerdict::kNotExists)
+    fail(out, "known-impossible instance not refused");
+  out.wall_seconds = seconds_since(t0);
+  return out;
+}
+
+InstanceOutcome run_synthesize(const synth::SynthInstance& inst,
+                               const Options& opt) {
+  InstanceOutcome out;
+  out.name = inst.name;
+  const auto t0 = std::chrono::steady_clock::now();
+  synth::SynthesisOptions sopt;
+  sopt.goal = opt.goal;
+  sopt.existence.max_states = opt.max_states;
+  sopt.existence.hint_order = inst.hint_order;
+  sopt.max_assignments = opt.max_assignments;
+  sopt.seed_paths = inst.seed_paths;
+  const synth::SynthesisResult result =
+      synth::synthesize(*inst.net, inst.pairs, sopt);
+  out.verdict = result.existence.verdict;
+  out.method = result.existence.method;
+  out.kind = result.kind;
+  out.cdg_cyclic = result.cdg_cyclic;
+  out.states = result.existence.states_searched +
+               result.existence.obstruction.states_searched;
+  out.assignments = result.assignments_tried;
+  out.obstruction_pairs = result.existence.obstruction.core.size();
+
+  // Consistency contract: kExists must yield a deadlock-free table;
+  // kNotExists may only yield a verified-cyclic (synchronous-model) one.
+  if (result.existence.verdict == synth::ExistenceVerdict::kExists &&
+      !result.table)
+    fail(out, "existence says kExists but no table was synthesized");
+  if (result.existence.verdict == synth::ExistenceVerdict::kNotExists &&
+      result.table && result.kind != synth::TableKind::kCyclicVerified)
+    fail(out, "kNotExists contradicted by a non-cyclic table");
+  if (inst.expectation == synth::Expectation::kMustExist &&
+      result.existence.verdict != synth::ExistenceVerdict::kExists)
+    fail(out, "known-good instance did not certify");
+  if (inst.expectation == synth::Expectation::kMustNotExist &&
+      result.existence.verdict != synth::ExistenceVerdict::kNotExists)
+    fail(out, "known-impossible instance not refused");
+
+  if (result.table) {
+    // Independent re-verification: CDG + exhaustive search, then a
+    // simulator drain run of one message per pair.
+    const synth::TableCheck check =
+        synth::check_table(*result.table, sopt.verify_limits);
+    if (check.verdict != core::CycleVerdict::kAcyclicCdg &&
+        check.verdict != core::CycleVerdict::kFalseResourceCycle)
+      fail(out, std::string("emitted table re-verifies as ") +
+                    core::to_string(check.verdict));
+    if (check.cdg_cyclic != result.cdg_cyclic)
+      fail(out, "cdg_cyclic flag disagrees with re-verification");
+    if (!synth::simulate_clean(*result.table, inst.pairs))
+      fail(out, "simulator drain run did not consume every message");
+    if (!opt.out_dir.empty()) {
+      const std::string path =
+          opt.out_dir + "/" + inst.name + ".table.json";
+      std::string io_error;
+      if (!routing::write_table_file(*result.table, path, &io_error))
+        fail(out, io_error);
+    }
+  }
+  out.wall_seconds = seconds_since(t0);
+  return out;
+}
+
+int run_verify(const Options& opt) {
+  if (opt.instances.size() != 1 || opt.table_file.empty()) {
+    std::fprintf(stderr,
+                 "wormsim_synth: verify needs --instance and --table\n");
+    return 2;
+  }
+  const synth::SynthInstance inst =
+      synth::make_synth_instance(opt.instances.front());
+  const routing::TableLoadResult loaded =
+      routing::load_table_file(*inst.net, opt.table_file);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "wormsim_synth: %s: %s\n", opt.table_file.c_str(),
+                 loaded.error.c_str());
+    return 3;
+  }
+  for (const synth::NodePair& p : inst.pairs) {
+    if (p.src == p.dst) continue;
+    if (!loaded.table->routes(p.src, p.dst)) {
+      std::fprintf(stderr, "wormsim_synth: table misses pair %u->%u\n",
+                   p.src.value(), p.dst.value());
+      return 1;
+    }
+  }
+  const synth::TableCheck check =
+      synth::check_table(*loaded.table, analysis::SearchLimits{});
+  const bool deadlock_free =
+      check.verdict == core::CycleVerdict::kAcyclicCdg ||
+      check.verdict == core::CycleVerdict::kFalseResourceCycle;
+  const bool sim_ok = synth::simulate_clean(*loaded.table, inst.pairs);
+  if (!opt.quiet)
+    std::printf("%-11s table=%s verdict=%s cyclic=%d sim=%s\n",
+                inst.name.c_str(), opt.table_file.c_str(),
+                core::to_string(check.verdict), check.cdg_cyclic ? 1 : 0,
+                sim_ok ? "clean" : "FAILED");
+  return deadlock_free && sim_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (argc < 2) return usage(argv[0]);
+  opt.mode = argv[1];
+  if (opt.mode != "analyze" && opt.mode != "synthesize" &&
+      opt.mode != "verify")
+    return usage(argv[0]);
+
+  const auto next = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "wormsim_synth: %s needs a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--instances" || arg == "--instance") {
+      const std::string value = next(i, "--instances");
+      opt.instances = value == "all" ? synth::instance_names()
+                                     : split_names(value);
+    } else if (arg == "--goal") {
+      const std::string_view value = next(i, "--goal");
+      if (value == "cyclic")
+        opt.goal = synth::SynthesisGoal::kPreferCyclic;
+      else if (value == "acyclic")
+        opt.goal = synth::SynthesisGoal::kRobustAcyclic;
+      else
+        return usage(argv[0]);
+    } else if (arg == "--max-states") {
+      opt.max_states = parse_u64(next(i, "--max-states"), "--max-states");
+    } else if (arg == "--max-assignments") {
+      opt.max_assignments =
+          parse_u64(next(i, "--max-assignments"), "--max-assignments");
+    } else if (arg == "--out-dir") {
+      opt.out_dir = next(i, "--out-dir");
+    } else if (arg == "--table") {
+      opt.table_file = next(i, "--table");
+    } else if (arg == "--report") {
+      opt.report = next(i, "--report");
+    } else if (arg == "--status-file") {
+      opt.status_file = next(i, "--status-file");
+    } else if (arg == "--status-interval") {
+      opt.status_interval =
+          std::strtod(next(i, "--status-interval"), nullptr);
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.instances.empty() && opt.mode != "verify")
+    opt.instances = synth::instance_names();
+  for (const std::string& name : opt.instances) {
+    if (!synth::is_instance_name(name)) {
+      std::fprintf(stderr, "wormsim_synth: unknown instance '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  if (opt.mode == "verify") return run_verify(opt);
+
+  if (!opt.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "wormsim_synth: cannot create %s: %s\n",
+                   opt.out_dir.c_str(), ec.message().c_str());
+      return 3;
+    }
+  }
+
+  StatusBoard board;
+  board.snapshot.kind = "synth";
+  board.snapshot.count = opt.instances.size();
+  board.snapshot.end_index = opt.instances.size();
+  board.snapshot.workers.resize(1);
+  std::unique_ptr<obs::StatusSampler> sampler;
+  if (!opt.status_file.empty())
+    sampler = std::make_unique<obs::StatusSampler>(
+        opt.status_file, opt.status_interval, [&board] {
+          std::lock_guard<std::mutex> lock(board.mu);
+          return board.snapshot;
+        });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<InstanceOutcome> outcomes;
+  for (const std::string& name : opt.instances) {
+    const synth::SynthInstance inst = synth::make_synth_instance(name);
+    InstanceOutcome out = opt.mode == "analyze" ? run_analyze(inst, opt)
+                                                : run_synthesize(inst, opt);
+    if (!opt.quiet)
+      std::printf(
+          "%-11s verdict=%-12s method=%-14s kind=%-17s cyclic=%d %s%s\n",
+          out.name.c_str(), synth::to_string(out.verdict),
+          out.method.c_str(), synth::to_string(out.kind),
+          out.cdg_cyclic ? 1 : 0, out.consistent ? "ok" : "INCONSISTENT: ",
+          out.detail.c_str());
+    {
+      std::lock_guard<std::mutex> lock(board.mu);
+      ++board.snapshot.done;
+      out.consistent ? ++board.snapshot.agree : ++board.snapshot.disagree;
+      board.snapshot.states_total += out.states;
+      obs::WorkerStatus& w = board.snapshot.workers.front();
+      ++w.done;
+      out.consistent ? ++w.agree : ++w.disagree;
+      w.states += out.states;
+    }
+    outcomes.push_back(std::move(out));
+  }
+  if (sampler) sampler->stop();
+
+  obs::RunReport report;
+  report.name = opt.report;
+  report.kind = "synth";
+  report.labels["mode"] = opt.mode;
+  report.labels["goal"] = synth::to_string(opt.goal);
+  bool all_consistent = true;
+  for (const InstanceOutcome& out : outcomes) {
+    const std::string prefix = "synth." + out.name + ".";
+    report.values[prefix + "exists"] =
+        out.verdict == synth::ExistenceVerdict::kExists ? 1 : 0;
+    report.values[prefix + "not_exists"] =
+        out.verdict == synth::ExistenceVerdict::kNotExists ? 1 : 0;
+    report.values[prefix + "table_kind"] = static_cast<double>(out.kind);
+    report.values[prefix + "cdg_cyclic"] = out.cdg_cyclic ? 1 : 0;
+    report.values[prefix + "consistent"] = out.consistent ? 1 : 0;
+    report.values[prefix + "obstruction_pairs"] =
+        static_cast<double>(out.obstruction_pairs);
+    report.values[prefix + "wall_seconds"] = out.wall_seconds;
+    report.labels[prefix + "method"] = out.method;
+    all_consistent = all_consistent && out.consistent;
+  }
+  report.values["instances"] = static_cast<double>(outcomes.size());
+  report.values["total_wall_seconds"] = seconds_since(t0);
+  if (!obs::write_report_file(report)) {
+    std::fprintf(stderr, "wormsim_synth: cannot write BENCH_%s.json\n",
+                 opt.report.c_str());
+    return 3;
+  }
+  if (!opt.quiet)
+    std::printf("%s: %zu instances, %s\n", opt.mode.c_str(), outcomes.size(),
+                all_consistent ? "all consistent" : "INCONSISTENCIES FOUND");
+  return all_consistent ? 0 : 1;
+}
