@@ -423,18 +423,34 @@ obs::RunReport CampaignResult::report(const CampaignConfig& config) const {
   return r;
 }
 
-CampaignResult run_campaign(const CampaignConfig& config) {
+std::uint64_t campaign_truth_fingerprint(const EvalOptions& eval) {
+  // The fingerprint digests the limits of the RECORDED searches: in
+  // cross-check mode those run with reduction off (see evaluate_impl), so
+  // the cache stays interchangeable with a plain reduction-off campaign's.
+  // threads is never folded (truth_fingerprint ignores it), so forcing it
+  // to 1 here is documentation, not behaviour.
+  analysis::SearchLimits recorded_limits = eval.limits;
+  recorded_limits.threads = 1;
+  if (eval.cross_check_reduction)
+    recorded_limits.reduction = analysis::ReductionMode::kOff;
+  return truth_fingerprint(recorded_limits, eval.max_cycles_probed,
+                           eval.acyclic_probe_messages);
+}
+
+namespace {
+
+/// Shared engine behind run_campaign (shard-derived block, internal store
+/// persisted via cache_file) and run_campaign_range (caller-chosen block,
+/// optionally a caller-owned store whose persistence the caller manages).
+CampaignResult run_range_impl(const CampaignConfig& config,
+                              std::uint64_t first, std::uint64_t end,
+                              TruthStore* external) {
   const auto t0 = std::chrono::steady_clock::now();
-  WORMSIM_EXPECTS(config.shard_total >= 1);
-  WORMSIM_EXPECTS(config.shard_index < config.shard_total);
   const ScenarioGenerator generator(config.seed, config.knobs);
 
   CampaignResult result;
-  // Contiguous block partition: concatenating slice outputs in shard order
-  // reproduces the single-process JSONL byte-for-byte (see --merge).
-  result.first_index = config.count * config.shard_index / config.shard_total;
-  result.end_index =
-      config.count * (config.shard_index + 1) / config.shard_total;
+  result.first_index = first;
+  result.end_index = end;
   const std::uint64_t slice = result.end_index - result.first_index;
   result.records.resize(slice);
 
@@ -453,17 +469,15 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   // matter what the caller put in eval.limits.threads.
   EvalOptions eval_opts = config.eval;
   eval_opts.limits.threads = 1;
-  // The fingerprint digests the limits of the RECORDED searches: in
-  // cross-check mode those run with reduction off (see evaluate_impl), so
-  // the cache stays interchangeable with a plain reduction-off campaign's.
-  analysis::SearchLimits recorded_limits = eval_opts.limits;
-  if (eval_opts.cross_check_reduction)
-    recorded_limits.reduction = analysis::ReductionMode::kOff;
-  TruthStore cache(truth_fingerprint(recorded_limits,
-                                     eval_opts.max_cycles_probed,
-                                     eval_opts.acyclic_probe_messages));
-  if (!config.cache_file.empty())
-    result.truth_loaded = cache.load(config.cache_file).records;
+  TruthStore local_cache(campaign_truth_fingerprint(config.eval));
+  // With an external store the caller owns persistence: cache_file is
+  // neither loaded nor saved, and hits against records the caller loaded
+  // from disk surface as disk hits via TruthRecord::from_disk as usual.
+  TruthStore* const cache = external != nullptr ? external : &local_cache;
+  WORMSIM_EXPECTS(cache->fingerprint() ==
+                  campaign_truth_fingerprint(config.eval));
+  if (external == nullptr && !config.cache_file.empty())
+    result.truth_loaded = local_cache.load(config.cache_file).records;
   CacheCounters counters;
   std::atomic<std::uint64_t> divergences{0};
 
@@ -485,7 +499,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       if (i >= result.end_index) return;
       const Scenario scenario = generator.generate(i);
       const Evaluation eval =
-          evaluate_impl(scenario, local_opts, &cache, &counters);
+          evaluate_impl(scenario, local_opts, cache, &counters);
       if (eval.reduction_divergence)
         divergences.fetch_add(1, std::memory_order_relaxed);
       ScenarioRecord& record = result.records[i - result.first_index];
@@ -640,7 +654,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       const auto still_disagrees = [&](const Scenario& candidate) {
         // No counters: shrink probes are diagnostics, not campaign lookups.
         const Evaluation eval =
-            evaluate_impl(candidate, eval_opts, &cache, /*counters=*/nullptr);
+            evaluate_impl(candidate, eval_opts, cache, /*counters=*/nullptr);
         return eval.verdict == Verdict::kDisagree &&
                eval.classification.rule == rule;
       };
@@ -669,15 +683,37 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.truth_memo_hits = counters.memo_hits.load();
   result.truth_misses = counters.misses.load();
   result.reduction_divergences = divergences.load();
-  if (!config.cache_file.empty()) {
-    result.truth_stored = cache.size();
-    result.cache_saved = cache.save(config.cache_file);
+  if (external == nullptr && !config.cache_file.empty()) {
+    result.truth_stored = local_cache.size();
+    result.cache_saved = local_cache.save(config.cache_file);
   }
 
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return result;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  WORMSIM_EXPECTS(config.shard_total >= 1);
+  WORMSIM_EXPECTS(config.shard_index < config.shard_total);
+  // Contiguous block partition: concatenating slice outputs in shard order
+  // reproduces the single-process JSONL byte-for-byte (see --merge).
+  const std::uint64_t first =
+      config.count * config.shard_index / config.shard_total;
+  const std::uint64_t end =
+      config.count * (config.shard_index + 1) / config.shard_total;
+  return run_range_impl(config, first, end, /*external=*/nullptr);
+}
+
+CampaignResult run_campaign_range(const CampaignConfig& config,
+                                  std::uint64_t first, std::uint64_t end,
+                                  TruthStore* store) {
+  WORMSIM_EXPECTS(first <= end);
+  WORMSIM_EXPECTS(end <= config.count);
+  return run_range_impl(config, first, end, store);
 }
 
 const char* to_string(Verdict verdict) {

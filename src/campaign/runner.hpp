@@ -186,6 +186,29 @@ struct CampaignResult {
 /// call blocks until all scenarios are evaluated.
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
 
+/// The truth-cache fingerprint a campaign with these options uses for its
+/// RECORDED searches (threads forced to 1; reduction forced off in
+/// cross-check mode, mirroring evaluate_impl). External TruthStores handed
+/// to run_campaign_range must be constructed with exactly this value.
+[[nodiscard]] std::uint64_t campaign_truth_fingerprint(
+    const EvalOptions& eval);
+
+/// Evaluates one explicit contiguous block [first, end) of the campaign's
+/// index space — the fleet worker's batch primitive. Ignores
+/// config.shard_index/shard_total (the caller owns the partitioning) and,
+/// when `store` is non-null, shares it as both memo table and warm cache
+/// instead of the config's cache_file (which is neither loaded nor saved;
+/// the store's owner is responsible for persistence). `store` must carry
+/// campaign_truth_fingerprint(config.eval) and may be shared across
+/// sequential calls — cross-batch hits are reported as disk or memo hits
+/// according to TruthRecord::from_disk. The records produced are
+/// byte-identical to the [first, end) slice of a full run_campaign with the
+/// same seed/count/knobs/limits, whatever the batch boundaries.
+[[nodiscard]] CampaignResult run_campaign_range(const CampaignConfig& config,
+                                                std::uint64_t first,
+                                                std::uint64_t end,
+                                                TruthStore* store = nullptr);
+
 /// Re-evaluates a single scenario (replay / fixture regression). Returns
 /// the full evaluation; callers decide what verdict to demand.
 [[nodiscard]] Evaluation replay_scenario(const Scenario& scenario,

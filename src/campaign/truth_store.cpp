@@ -159,7 +159,60 @@ std::optional<TruthRecord> TruthStore::lookup(const std::string& key) const {
 
 void TruthStore::insert(const std::string& key, TruthRecord record) {
   const std::scoped_lock lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end() && it->second.outcome == record.outcome &&
+      it->second.states == record.states)
+    return;  // identical record: nothing new to persist
   map_[key] = record;
+  unpersisted_.push_back(key);
+}
+
+std::size_t TruthStore::unpersisted() const {
+  const std::scoped_lock lock(mu_);
+  return unpersisted_.size();
+}
+
+bool TruthStore::checkpoint(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (unpersisted_.empty()) return true;
+
+  // Decide between append (file already carries our header) and create /
+  // full rewrite (missing, empty, or foreign-fingerprint file).
+  bool file_has_header = false;
+  bool header_is_ours = false;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string header;
+    if (in && std::getline(in, header)) {
+      file_has_header = true;
+      const auto fp = parse_header(header);
+      header_is_ours = fp && *fp == fingerprint_;
+    }
+  }
+  if (file_has_header && !header_is_ours) {
+    // Foreign or unreadable header: appending would corrupt it. Replace with
+    // a full snapshot (the stale-store policy: overwrite, never mix).
+    // save() takes mu_ itself, so drop the lock around the delegation.
+    lock.unlock();
+    const bool ok = save(path);
+    lock.lock();
+    if (ok) unpersisted_.clear();
+    return ok;
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return false;
+  if (!file_has_header)
+    out << kMagic << " " << kVersion << " fp=" << hex16(fingerprint_) << "\n";
+  for (const std::string& key : unpersisted_) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) continue;  // cannot happen today; belt-and-braces
+    out << format_record(key, it->second) << "\n";
+  }
+  out.flush();
+  if (!out) return false;  // torn tail is truncated by the next load()
+  unpersisted_.clear();
+  return true;
 }
 
 std::string TruthStore::format_record(const std::string& key,
@@ -279,7 +332,10 @@ bool TruthStore::merge_from(const TruthStore& other, std::string* error) {
                   record_payload(key, it->second) + " vs " +
                   record_payload(key, record));
     }
-    if (it == map_.end()) map_.emplace(key, record);
+    if (it == map_.end()) {
+      map_.emplace(key, record);
+      unpersisted_.push_back(key);
+    }
   }
   return true;
 }

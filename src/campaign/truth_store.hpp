@@ -33,6 +33,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analysis/deadlock_search.hpp"
 
@@ -110,6 +111,22 @@ class TruthStore {
   /// written or the rename fails.
   [[nodiscard]] bool save(const std::string& path) const;
 
+  /// Appends every record gained via insert()/merge_from() since the last
+  /// checkpoint() to `path`, creating the file (with a header) when it is
+  /// missing or empty. Records that arrived through load() are already on
+  /// disk somewhere and are never re-appended. Because the format is
+  /// line-oriented with per-record checksums, a crash mid-append damages at
+  /// most the tail, which the next load() truncates away — this is the
+  /// fleet coordinator's crash-safe persistence primitive. When `path`
+  /// exists but carries a different fingerprint (or an unreadable header),
+  /// falls back to a full atomic save(). Returns false on I/O failure; the
+  /// pending records are kept for the next attempt.
+  [[nodiscard]] bool checkpoint(const std::string& path);
+
+  /// Records gained since the last successful checkpoint() (or since
+  /// construction). Lets callers skip a checkpoint when nothing is new.
+  [[nodiscard]] std::size_t unpersisted() const;
+
   /// Copies `other`'s records into this store. Fingerprints must match.
   /// A key present in both with a *different* outcome/states is a
   /// contradiction (two runs disagreeing about deterministic ground truth);
@@ -134,6 +151,10 @@ class TruthStore {
   mutable std::mutex mu_;
   std::uint64_t fingerprint_ = 0;
   std::map<std::string, TruthRecord> map_;  ///< sorted => deterministic save
+  /// Keys inserted (not loaded) since the last checkpoint(), in arrival
+  /// order. insert() only records a key whose mapping actually changed, so
+  /// re-inserting an identical record never duplicates an append.
+  std::vector<std::string> unpersisted_;
 };
 
 }  // namespace wormsim::campaign

@@ -42,6 +42,19 @@ void append_search(std::string& out, const SearchStatus& s) {
   out += "}";
 }
 
+void append_fleet(std::string& out, const FleetStatus& f) {
+  out += "{\"batches_total\":" + json::number_u64(f.batches_total);
+  out += ",\"batches_done\":" + json::number_u64(f.batches_done);
+  out += ",\"batches_queued\":" + json::number_u64(f.batches_queued);
+  out += ",\"batches_leased\":" + json::number_u64(f.batches_leased);
+  out += ",\"batches_quarantined\":" + json::number_u64(f.batches_quarantined);
+  out += ",\"retries\":" + json::number_u64(f.retries);
+  out += ",\"workers_active\":" + json::number_u64(f.workers_active);
+  out += ",\"merged_records\":" + json::number_u64(f.merged_records);
+  out += ",\"truth_records\":" + json::number_u64(f.truth_records);
+  out += "}";
+}
+
 void append_sim(std::string& out, const SimStatus& s) {
   out += "{\"active\":";
   out += s.active ? "true" : "false";
@@ -79,7 +92,7 @@ void append_worker(std::string& out, const WorkerStatus& w) {
 }  // namespace
 
 std::string StatusSnapshot::to_json() const {
-  std::string out = "{\"schema\":\"wormsim-status-v2\"";
+  std::string out = "{\"schema\":\"wormsim-status-v3\"";
   out += ",\"kind\":" + json::quote(kind);
   out += ",\"seq\":" + json::number_u64(seq);
   out += ",\"pid\":" + json::number_u64(pid);
@@ -102,7 +115,9 @@ std::string StatusSnapshot::to_json() const {
   out += ",\"memo_hits\":" + json::number_u64(truth_memo_hits);
   out += ",\"misses\":" + json::number_u64(truth_misses);
   out += ",\"hit_rate\":" + json::number(truth_hit_rate);
-  out += "},\"sim\":";
+  out += "},\"fleet\":";
+  append_fleet(out, fleet);
+  out += ",\"sim\":";
   append_sim(out, sim);
   out += ",\"search\":";
   append_search(out, search);

@@ -22,7 +22,7 @@
 //     the sampler writes one final snapshot with running=false, so a
 //     finished run always leaves a complete heartbeat behind.
 //
-// The snapshot schema is versioned ("wormsim-status-v2") and documented
+// The snapshot schema is versioned ("wormsim-status-v3") and documented
 // field-by-field in docs/observability.md; tests pin the two against each
 // other. Producers must be thread-safe: the callback runs on the sampler
 // thread while the run's workers are mutating the counters it reads.
@@ -106,10 +106,26 @@ struct SimStatus {
   double busy_channel_fraction = 0;  ///< busy channel-cycles / total
 };
 
+/// What a fleet coordinator (tools/wormsim_fleet) is doing right now: the
+/// batch state machine's occupancy plus merge/checkpoint progress. All-zero
+/// for every other producer kind. docs/fleet.md explains the state machine;
+/// docs/observability.md documents the fields.
+struct FleetStatus {
+  std::uint64_t batches_total = 0;
+  std::uint64_t batches_done = 0;
+  std::uint64_t batches_queued = 0;
+  std::uint64_t batches_leased = 0;
+  std::uint64_t batches_quarantined = 0;
+  std::uint64_t retries = 0;         ///< batch re-queues (expiry + bad results)
+  std::uint64_t workers_active = 0;  ///< live (unexpired) leases
+  std::uint64_t merged_records = 0;  ///< records appended to merged.jsonl
+  std::uint64_t truth_records = 0;   ///< records in the coordinator's store
+};
+
 /// One heartbeat. Everything is emitted on every write (fields never come
 /// and go), in a fixed key order, so the schema is byte-stable.
 struct StatusSnapshot {
-  std::string kind = "campaign";  ///< "campaign" or "search"
+  std::string kind = "campaign";  ///< "campaign", "search", "fleet", ...
   std::uint64_t seq = 0;          ///< stamped by StatusWriter (1, 2, ...)
   std::uint64_t pid = 0;          ///< stamped by StatusWriter
   bool running = true;            ///< false only on the final snapshot
@@ -133,11 +149,12 @@ struct StatusSnapshot {
   std::uint64_t truth_misses = 0;
   double truth_hit_rate = 0;
 
+  FleetStatus fleet;
   SimStatus sim;
   SearchStatus search;
   std::vector<WorkerStatus> workers;
 
-  /// Serializes as the documented "wormsim-status-v2" JSON object. u64
+  /// Serializes as the documented "wormsim-status-v3" JSON object. u64
   /// fields are emitted exactly (json::number_u64), never through doubles.
   [[nodiscard]] std::string to_json() const;
 };

@@ -226,6 +226,61 @@ TEST(RunCampaign, SliceCountsCoverOnlyTheSlice) {
   }
 }
 
+TEST(RunCampaignRange, BatchConcatenationMatchesSingleProcessRun) {
+  // The fleet worker's primitive: explicit [first, end) blocks through a
+  // shared external store reproduce the full run byte-for-byte, whatever
+  // the batch boundaries — and cross-batch truth reuse is a pure speedup.
+  const CampaignConfig config = small_config(1);
+  const std::string full = jsonl_of(run_campaign(config));
+
+  TruthStore store(campaign_truth_fingerprint(config.eval));
+  std::string concatenated;
+  std::uint64_t misses = 0, memo_hits = 0;
+  for (const auto& [first, end] :
+       {std::pair<std::uint64_t, std::uint64_t>{0, 7},
+        {7, 8},
+        {8, 21},
+        {21, 30}}) {
+    const CampaignResult batch = run_campaign_range(config, first, end, &store);
+    EXPECT_EQ(batch.first_index, first);
+    EXPECT_EQ(batch.end_index, end);
+    EXPECT_EQ(batch.records.size(), end - first);
+    concatenated += jsonl_of(batch);
+    misses += batch.truth_misses;
+    memo_hits += batch.truth_memo_hits;
+  }
+  EXPECT_EQ(concatenated, full);
+  EXPECT_GT(store.size(), 0u);  // the shared store accumulated ground truth
+
+  // A second pass over the same store answers everything from memory.
+  const CampaignResult warm = run_campaign_range(config, 0, 30, &store);
+  EXPECT_EQ(jsonl_of(warm), full);
+  EXPECT_EQ(warm.truth_misses, 0u);
+  (void)misses;
+  (void)memo_hits;
+}
+
+TEST(RunCampaignRange, IgnoresShardSliceAndCacheFileFields) {
+  // The caller owns the partitioning: shard_index/shard_total must not
+  // shift the explicit range, and cache_file must be left untouched when
+  // an external store is supplied.
+  namespace fs = std::filesystem;
+  CampaignConfig config = small_config(1);
+  config.shard_index = 3;
+  config.shard_total = 7;
+  config.cache_file =
+      (fs::path(::testing::TempDir()) / "range_untouched.cache").string();
+  fs::remove(config.cache_file);
+
+  TruthStore store(campaign_truth_fingerprint(config.eval));
+  const CampaignResult batch = run_campaign_range(config, 5, 12, &store);
+  EXPECT_EQ(batch.first_index, 5u);
+  EXPECT_EQ(batch.end_index, 12u);
+  EXPECT_EQ(batch.records.size(), 7u);
+  EXPECT_FALSE(fs::exists(config.cache_file))
+      << "an external store means the fleet owns persistence";
+}
+
 TEST(FixtureExtraction, FindsEmbeddedScenarios) {
   const std::string fixture =
       "{\n  \"rule\": \"x\",\n"

@@ -117,16 +117,18 @@ void expect_matches_table(const obs::json::Value& object,
 TEST(StatusSchemaDoc, ManualTablesParse) {
   const std::string doc = read_file(manual_path());
   ASSERT_FALSE(doc.empty()) << "cannot read " << manual_path();
-  EXPECT_EQ(parse_table(doc, "## Status file schema").size(), 11u);
+  EXPECT_EQ(parse_table(doc, "## Status file schema").size(), 12u);
   EXPECT_EQ(parse_table(doc, "### The `progress` object").size(), 10u);
   EXPECT_EQ(parse_table(doc, "### The `truth_cache` object").size(), 4u);
+  EXPECT_EQ(parse_table(doc, "### The `fleet` object").size(), 9u);
   EXPECT_EQ(parse_table(doc, "### The `sim` object").size(), 11u);
   EXPECT_EQ(parse_table(doc, "### The `search` object").size(), 21u);
   EXPECT_EQ(parse_table(doc, "### Worker entries").size(), 13u);
   for (const char* heading :
        {"## Status file schema", "### The `progress` object",
-        "### The `truth_cache` object", "### The `sim` object",
-        "### The `search` object", "### Worker entries"})
+        "### The `truth_cache` object", "### The `fleet` object",
+        "### The `sim` object", "### The `search` object",
+        "### Worker entries"})
     for (const DocField& f : parse_table(doc, heading))
       EXPECT_EQ(f.presence, "always")
           << f.name << ": status fields never come and go";
@@ -140,7 +142,8 @@ TEST(StatusSchemaDoc, KindRowListsEveryProducerKind) {
   const auto at = doc.find("| `kind` |");
   ASSERT_NE(at, std::string::npos);
   const std::string line = doc.substr(at, doc.find('\n', at) - at);
-  for (const char* kind : {"campaign", "search", "saturation", "synth"})
+  for (const char* kind : {"campaign", "search", "saturation", "synth",
+                           "fleet"})
     EXPECT_NE(line.find("`" + std::string(kind) + "`"), std::string::npos)
         << "kind '" << kind << "' missing from the schema table";
 }
@@ -155,7 +158,7 @@ TEST(StatusSchemaDoc, SynthKindRoundTripsThroughTheEmitter) {
   snap.agree = 4;
   const auto parsed = obs::json::parse(snap.to_json());
   ASSERT_TRUE(parsed.has_value() && parsed->is_object());
-  EXPECT_EQ(parsed->find("schema")->as_string(), "wormsim-status-v2");
+  EXPECT_EQ(parsed->find("schema")->as_string(), "wormsim-status-v3");
   EXPECT_EQ(parsed->find("kind")->as_string(), "synth");
   const obs::json::Value& progress = *parsed->find("progress");
   EXPECT_EQ(progress.find("count")->as_u64(), 13u);
@@ -168,6 +171,7 @@ TEST(StatusSchemaDoc, EmittedSnapshotMatchesTheManualFieldForField) {
   const auto top = parse_table(doc, "## Status file schema");
   const auto progress = parse_table(doc, "### The `progress` object");
   const auto truth = parse_table(doc, "### The `truth_cache` object");
+  const auto fleet = parse_table(doc, "### The `fleet` object");
   const auto sim = parse_table(doc, "### The `sim` object");
   const auto search = parse_table(doc, "### The `search` object");
   const auto worker = parse_table(doc, "### Worker entries");
@@ -181,11 +185,12 @@ TEST(StatusSchemaDoc, EmittedSnapshotMatchesTheManualFieldForField) {
   const auto parsed = obs::json::parse(read_file(status_file));
   ASSERT_TRUE(parsed.has_value()) << "final snapshot is not valid JSON";
   ASSERT_TRUE(parsed->is_object());
-  EXPECT_EQ(parsed->find("schema")->as_string(), "wormsim-status-v2");
+  EXPECT_EQ(parsed->find("schema")->as_string(), "wormsim-status-v3");
 
   expect_matches_table(*parsed, top, "top-level");
   expect_matches_table(*parsed->find("progress"), progress, "progress");
   expect_matches_table(*parsed->find("truth_cache"), truth, "truth_cache");
+  expect_matches_table(*parsed->find("fleet"), fleet, "fleet");
   expect_matches_table(*parsed->find("sim"), sim, "sim");
   expect_matches_table(*parsed->find("search"), search, "search");
   const auto& workers = parsed->find("workers")->as_array();
@@ -267,7 +272,7 @@ TEST(StatusSchemaDoc, RacingReadersNeverSeeATornSnapshot) {
       const auto parsed = obs::json::parse(text);
       if (!parsed || !parsed->is_object() ||
           parsed->find("schema") == nullptr ||
-          parsed->find("schema")->as_string() != "wormsim-status-v2" ||
+          parsed->find("schema")->as_string() != "wormsim-status-v3" ||
           parsed->find("workers") == nullptr)
         ++torn;
     }

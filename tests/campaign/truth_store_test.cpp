@@ -279,6 +279,106 @@ TEST(TruthStore, FingerprintFoldsReductionOnlyWhenEnabled) {
             truth_fingerprint(safe, 8, 4));
 }
 
+TEST(TruthStoreCheckpoint, AppendsOnlyFreshRecordsAcrossCalls) {
+  const std::string path = temp_path("checkpoint.truthstore");
+  fs::remove(path);
+  TruthStore store(kFp);
+  EXPECT_EQ(store.unpersisted(), 0u);
+  fill(store, {{"a", {SearchOutcome::kDeadlock, 10}},
+               {"b", {SearchOutcome::kNoDeadlock, 20}}});
+  EXPECT_EQ(store.unpersisted(), 2u);
+  ASSERT_TRUE(store.checkpoint(path));  // creates the file with a header
+  EXPECT_EQ(store.unpersisted(), 0u);
+  const std::string after_first = read_file(path);
+
+  // Nothing new: checkpoint is a no-op, the bytes do not change.
+  ASSERT_TRUE(store.checkpoint(path));
+  EXPECT_EQ(read_file(path), after_first);
+
+  // One more record: exactly one line is appended, the prefix is intact.
+  fill(store, {{"c", {SearchOutcome::kDeadlock, 30}}});
+  EXPECT_EQ(store.unpersisted(), 1u);
+  ASSERT_TRUE(store.checkpoint(path));
+  const std::string after_second = read_file(path);
+  EXPECT_EQ(after_second.rfind(after_first, 0), 0u)
+      << "checkpoint must append, never rewrite the prefix";
+  EXPECT_GT(after_second.size(), after_first.size());
+
+  // Re-inserting an identical record is not "fresh" and never duplicates.
+  store.insert("a", {SearchOutcome::kDeadlock, 10});
+  EXPECT_EQ(store.unpersisted(), 0u);
+
+  TruthStore loaded(kFp);
+  const TruthLoadStats stats = loaded.load(path);
+  EXPECT_TRUE(stats.fingerprint_ok);
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(TruthStoreCheckpoint, LoadedRecordsAreNeverReappended) {
+  const std::string base = temp_path("checkpoint_base.truthstore");
+  TruthStore writer(kFp);
+  fill(writer, {{"a", {SearchOutcome::kDeadlock, 10}},
+                {"b", {SearchOutcome::kNoDeadlock, 20}}});
+  ASSERT_TRUE(writer.save(base));
+
+  // A store that loads the file and learns one new record checkpoints
+  // only that record back — load()-gained records are already on disk.
+  TruthStore store(kFp);
+  ASSERT_TRUE(store.load(base).fingerprint_ok);
+  EXPECT_EQ(store.unpersisted(), 0u);
+  fill(store, {{"c", {SearchOutcome::kInconclusive, 30}}});
+  const std::string before = read_file(base);
+  ASSERT_TRUE(store.checkpoint(base));
+  const std::string after = read_file(base);
+  EXPECT_EQ(after.rfind(before, 0), 0u);
+
+  TruthStore loaded(kFp);
+  ASSERT_TRUE(loaded.load(base).fingerprint_ok);
+  EXPECT_EQ(loaded.size(), 3u);
+  // No duplicate lines: the file has exactly header + 3 records.
+  std::size_t lines = 0;
+  for (const char c : after) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(TruthStoreCheckpoint, TornAppendTailSelfHealsOnLoad) {
+  const std::string path = temp_path("checkpoint_torn.truthstore");
+  fs::remove(path);
+  TruthStore store(kFp);
+  fill(store, {{"a", {SearchOutcome::kDeadlock, 10}},
+               {"b", {SearchOutcome::kNoDeadlock, 20}}});
+  ASSERT_TRUE(store.checkpoint(path));
+  // A crash mid-append leaves a partial final line.
+  std::string text = read_file(path);
+  write_file(path, text.substr(0, text.size() - 7));
+
+  TruthStore loaded(kFp);
+  const TruthLoadStats stats = loaded.load(path);
+  EXPECT_TRUE(stats.fingerprint_ok);
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.dropped, 1u);  // the torn tail, truncated away
+  EXPECT_TRUE(loaded.lookup("a").has_value());
+}
+
+TEST(TruthStoreCheckpoint, ForeignFingerprintFallsBackToFullSave) {
+  const std::string path = temp_path("checkpoint_foreign.truthstore");
+  TruthStore foreign(kFp + 1);
+  fill(foreign, {{"x", {SearchOutcome::kDeadlock, 1}}});
+  ASSERT_TRUE(foreign.save(path));
+
+  TruthStore store(kFp);
+  fill(store, {{"a", {SearchOutcome::kDeadlock, 10}}});
+  ASSERT_TRUE(store.checkpoint(path));  // cannot append: replaces wholesale
+  EXPECT_EQ(store.unpersisted(), 0u);
+
+  TruthStore loaded(kFp);
+  ASSERT_TRUE(loaded.load(path).fingerprint_ok);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded.lookup("a").has_value());
+  EXPECT_FALSE(loaded.lookup("x").has_value());
+}
+
 TEST(TruthStore, OutcomeStringsRoundTrip) {
   for (const SearchOutcome o :
        {SearchOutcome::kNotRun, SearchOutcome::kDeadlock,

@@ -55,6 +55,14 @@ target_compile_definitions(campaign_tests PRIVATE
   WORMSIM_TEST_DATA_DIR="${CMAKE_CURRENT_SOURCE_DIR}"
   WORMSIM_REPO_ROOT="${CMAKE_SOURCE_DIR}")
 
+wormsim_test(fleet_tests
+  fleet/fleet_protocol_test.cpp
+  fleet/fleet_runtime_test.cpp
+  fleet/fleet_schema_test.cpp)
+target_link_libraries(fleet_tests PRIVATE wormsim_fleet wormsim_campaign)
+target_compile_definitions(fleet_tests PRIVATE
+  WORMSIM_REPO_ROOT="${CMAKE_SOURCE_DIR}")
+
 wormsim_test(synth_tests
   synth/existence_test.cpp
   synth/synthesize_test.cpp

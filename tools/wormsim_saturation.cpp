@@ -22,7 +22,7 @@
 //                      [--status-file FILE] [--status-interval SECONDS]
 //                      [--quiet]
 //
-// The heartbeat (--status-file) publishes "wormsim-status-v2" snapshots of
+// The heartbeat (--status-file) publishes "wormsim-status-v3" snapshots of
 // kind "saturation": progress counts sweep points and the `sim` object
 // mirrors the most recently finished simulation's event-core stats. The
 // snapshot is updated between sweep points only, so the sampler thread

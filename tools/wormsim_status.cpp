@@ -36,7 +36,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--watch [SECONDS]] FILE...\n"
-               "renders wormsim-status-v2 heartbeat files (see "
+               "renders wormsim-status-v3 heartbeat files (see "
                "docs/observability.md)\n",
                argv0);
   return 2;
@@ -56,6 +56,10 @@ struct Row {
   double rate = 0;
   double eta = -1;
   double truth_hit_rate = 0;
+  // kind == "fleet" only: coordinator batch accounting.
+  std::uint64_t batches_done = 0, batches_total = 0;
+  std::uint64_t batches_leased = 0, batches_quarantined = 0;
+  std::uint64_t fleet_workers = 0;
   bool search_active = false;
   std::uint64_t search_states = 0;
   std::uint64_t table_keys = 0;
@@ -82,7 +86,7 @@ Row read_row(const std::string& path) {
   if (!parsed || !parsed->is_object()) return row;
   const Value* schema = parsed->find("schema");
   if (schema == nullptr || !schema->is_string() ||
-      schema->as_string() != "wormsim-status-v2")
+      schema->as_string() != "wormsim-status-v3")
     return row;
 
   row.ok = true;
@@ -109,6 +113,14 @@ Row read_row(const std::string& path) {
   if (const Value* truth = parsed->find("truth_cache");
       truth && truth->is_object())
     row.truth_hit_rate = num_field(*truth, "hit_rate");
+  if (const Value* fleet = parsed->find("fleet");
+      fleet && fleet->is_object()) {
+    row.batches_done = u64_field(*fleet, "batches_done");
+    row.batches_total = u64_field(*fleet, "batches_total");
+    row.batches_leased = u64_field(*fleet, "batches_leased");
+    row.batches_quarantined = u64_field(*fleet, "batches_quarantined");
+    row.fleet_workers = u64_field(*fleet, "workers_active");
+  }
   if (const Value* search = parsed->find("search");
       search && search->is_object()) {
     if (const Value* active = search->find("active");
@@ -162,6 +174,15 @@ void print_row(const std::string& label, const Row& row) {
       row.search_active ? "live" : "idle",
       static_cast<unsigned long long>(row.search_states),
       static_cast<unsigned long long>(row.table_keys), row.workers);
+  if (row.kind == "fleet")
+    std::printf("%-28s   fleet batches=%llu/%llu leased=%llu "
+                "quarantined=%llu workers=%llu\n",
+                "",
+                static_cast<unsigned long long>(row.batches_done),
+                static_cast<unsigned long long>(row.batches_total),
+                static_cast<unsigned long long>(row.batches_leased),
+                static_cast<unsigned long long>(row.batches_quarantined),
+                static_cast<unsigned long long>(row.fleet_workers));
 }
 
 /// Renders every file plus a TOTAL row (when more than one). Returns true
