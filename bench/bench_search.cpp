@@ -4,18 +4,61 @@
 // proofs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <string>
 #include <unordered_set>
 
 #include "analysis/deadlock_search.hpp"
 #include "analysis/state_table.hpp"
 #include "core/cyclic_family.hpp"
+#include "obs/run_report.hpp"
 #include "routing/node_table.hpp"
 #include "topo/builders.hpp"
 
 using namespace wormsim;
 
 namespace {
+
+/// A deliberately skewed search tree: the Figure-1 ring (four long messages
+/// whose interleavings form the deep core) plus three hold=1 stub messages
+/// that inject, cross one ring channel, and drain. The stubs widen the root
+/// of the DFS tree with branches that either terminate within a few levels
+/// or fall into already-memoized territory, while one spine carries almost
+/// all of the unique states — the worst case for a statically partitioned
+/// frontier and the motivating case for work stealing.
+core::CyclicFamilySpec skewed_spec() {
+  core::CyclicFamilySpec spec = core::fig1_spec();
+  spec.name = "skewed-fig1-plus-stubs";
+  for (int i = 0; i < 3; ++i) spec.messages.push_back({2, 1, true});
+  return spec;
+}
+
+void BM_Search_SkewedTree(benchmark::State& state) {
+  // Scheduling bench: reduction off keeps the full tree (twin symmetry
+  // would collapse the identical stubs), so the wall clock is dominated by
+  // how evenly the workers split the one deep subtree. On a 1-CPU container
+  // threads > 1 measure engine overhead only; the per-worker state shares
+  // in the --sched-report harness show the distribution either way.
+  const core::CyclicFamily family(skewed_spec());
+  analysis::SearchLimits limits;
+  limits.threads = static_cast<unsigned>(state.range(0));
+
+  analysis::DeadlockSearchResult result;
+  for (auto _ : state) {
+    result = analysis::find_deadlock(
+        family.algorithm(), family.message_specs(),
+        analysis::AdversaryModel::kSynchronous, limits);
+  }
+  state.counters["threads"] = static_cast<double>(limits.threads);
+  state.counters["states"] = static_cast<double>(result.states_explored);
+  state.counters["exhausted"] = result.exhausted ? 1.0 : 0.0;
+  state.counters["states_per_sec"] = result.profile.states_per_second;
+}
+BENCHMARK(BM_Search_SkewedTree)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Search_UnidirectionalRing(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -248,6 +291,116 @@ void BM_Memo_StateTable(benchmark::State& state) {
 }
 BENCHMARK(BM_Memo_StateTable)->Unit(benchmark::kMicrosecond);
 
+/// One measured scheduling case for the --sched-report harness.
+struct SchedCase {
+  const char* name;                      ///< metric prefix (sched.<name>.*)
+  const core::CyclicFamily* family;
+  std::vector<sim::MessageSpec> specs;
+};
+
+/// Runs the scheduling cases at threads {1, 4} and writes an
+/// obs::RunReport as BENCH_bench_search.json (honoring WORMSIM_BENCH_DIR).
+/// Wall seconds are the min over `reps` runs (inform-only downstream);
+/// state counts are exact and gated. t4 rows include the largest
+/// per-worker share of memo misses — the direct evidence of whether the
+/// scheduler spread the one deep subtree or left it on a single worker.
+int run_sched_report() {
+  const core::CyclicFamily fig1(core::fig1_spec());
+  const auto fig1_base = fig1.message_specs();
+  std::vector<sim::MessageSpec> fig1_x2;
+  fig1_x2.insert(fig1_x2.end(), fig1_base.begin(), fig1_base.end());
+  fig1_x2.insert(fig1_x2.end(), fig1_base.begin(), fig1_base.end());
+  const core::CyclicFamily skewed(skewed_spec());
+
+  std::vector<SchedCase> cases;
+  cases.push_back({"fig1x2", &fig1, fig1_x2});
+  cases.push_back({"skewed", &skewed, skewed.message_specs()});
+
+  obs::RunReport report;
+  report.name = "bench_search";
+  report.kind = "bench";
+  report.labels["suite"] = "sched";
+
+  constexpr int kReps = 3;
+  for (const SchedCase& c : cases) {
+    double wall_t1 = 0;
+    for (const unsigned threads : {1u, 4u}) {
+      analysis::SearchLimits limits;
+      limits.threads = threads;
+      analysis::DeadlockSearchResult result;
+      double best = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        result = analysis::find_deadlock(
+            c.family->algorithm(), c.specs,
+            analysis::AdversaryModel::kSynchronous, limits);
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (rep == 0 || wall < best) best = wall;
+      }
+      const std::string prefix =
+          std::string("sched.") + c.name + ".t" + std::to_string(threads);
+      report.values[prefix + ".wall_seconds"] = best;
+      report.values[prefix + ".states"] =
+          static_cast<double>(result.states_explored);
+      if (threads == 1) {
+        wall_t1 = best;
+        report.values[std::string("sched.") + c.name + ".deadlock"] =
+            result.deadlock_found ? 1.0 : 0.0;
+        report.values[std::string("sched.") + c.name + ".exhausted"] =
+            result.exhausted ? 1.0 : 0.0;
+      } else {
+        if (best > 0)
+          report.values[std::string("sched.") + c.name + ".speedup_t" +
+                        std::to_string(threads)] = wall_t1 / best;
+        // Worst-case worker share of unique-state expansions: ~1.0 means
+        // one worker owned the whole deep subtree, ~1/threads is ideal.
+        std::uint64_t total = 0, peak = 0;
+        for (const auto& shard : result.worker_profiles) {
+          total += shard.memo_misses;
+          peak = std::max(peak, shard.memo_misses);
+        }
+        if (total > 0)
+          report.values[prefix + ".max_worker_share"] =
+              static_cast<double>(peak) / static_cast<double>(total);
+      }
+      std::printf("%s.wall_seconds=%.4f states=%llu exhausted=%d\n",
+                  prefix.c_str(), best,
+                  static_cast<unsigned long long>(result.states_explored),
+                  result.exhausted ? 1 : 0);
+    }
+  }
+  if (!obs::write_report_file(report)) {
+    std::fprintf(stderr, "bench_search: failed to write report file\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Standard benchmark main plus a --sched-report mode: the flag is stripped
+// before benchmark::Initialize sees it, and after any selected google
+// benchmarks run, the scheduling mini-harness above writes the
+// BENCH_bench_search.json run report (CI passes
+// --benchmark_filter=NoSuchBenchmark to run the harness alone).
+int main(int argc, char** argv) {
+  bool sched_report = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sched-report") == 0)
+      sched_report = true;
+    else
+      args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (sched_report) return run_sched_report();
+  return 0;
+}

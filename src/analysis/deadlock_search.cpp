@@ -5,6 +5,8 @@
 #include <chrono>
 #include <deque>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <optional>
 #include <sstream>
@@ -280,6 +282,11 @@ unsigned resolve_threads(unsigned requested) {
 /// heartbeat a second behind real time still tells the truth.
 constexpr std::uint64_t kStatusPublishStride = 1024;
 
+/// Cap on one worker's deque of splittable work items. Once a worker has
+/// this many parked subtrees, further splitting only adds bookkeeping —
+/// starving peers will drain the deque long before then.
+constexpr std::size_t kDequeCap = 64;
+
 /// Per-search reduction inputs, resolved once by the entry points: message
 /// specs (twin detection) and — when every route could be traced — the full
 /// oblivious route of each message (component independence). Both indexed
@@ -296,16 +303,26 @@ struct ReductionContext {
 /// The DFS engine shared by the oblivious and adaptive entry points.
 ///
 /// Serial mode (threads == 1) is one DFS over the whole space. Parallel
-/// mode expands the first plies serially (BFS) into a frontier of subtree
-/// roots, then runs worker DFSs that steal frontier items off a shared
-/// atomic cursor and memoize through one striped StateTable. Soundness of
-/// "exhausted": a state is inserted into the table exactly once, by the
-/// worker that then expands it, so when every worker drains without hitting
-/// a limit the union of their explorations covers every reachable state —
-/// and conversely any reachable deadlock is found by some worker. The
-/// deadlock verdict is therefore deterministic; the particular witness may
-/// depend on scheduling, but is always rebuilt by a serial step_with_grants
-/// replay from the initial state, which revalidates every grant.
+/// mode runs a work-stealing DFS (DESIGN.md §16): every worker owns a
+/// bounded deque of work items (subtree roots), pops its own from the back
+/// (LIFO — deepest, most recently split), and steals from the front of the
+/// next non-empty peer's deque (the shallowest, largest subtrees). A worker
+/// whose DFS stack is deep splits off pending sibling branches of its
+/// *shallowest* unexhausted frame into new items when some peer is starving
+/// — so the one deep subtree of a skewed tree keeps getting re-divided
+/// instead of pinning a single worker. All workers memoize through one
+/// striped StateTable. Soundness of "exhausted": a state is recorded in
+/// the table exactly once (twice under the probation tier, which never
+/// prunes on a fingerprint-only match), by a worker that then expands it,
+/// so when every item completes without hitting a limit the union of the
+/// explorations covers every reachable state — and conversely any reachable
+/// deadlock is found by some worker. The deadlock verdict is therefore
+/// deterministic; ties between concurrently found deadlocks break to the
+/// lexicographically least Dewey ordinal (the DFS-first one), and with
+/// SearchLimits::canonical_witness the whole deadlock-positive result is
+/// re-derived serially so it is byte-identical to a threads=1 run. Either
+/// way the witness is rebuilt by a serial step_with_grants replay from the
+/// initial state, which revalidates every grant.
 class SearchEngine {
  public:
   SearchEngine(const topo::Network& net, AdversaryModel model,
@@ -317,10 +334,11 @@ class SearchEngine {
         delay_mode_(model == AdversaryModel::kBoundedDelay),
         threads_(resolve_threads(limits.threads)),
         status_(limits.status),
-        visited_(threads_ <= 1
-                     ? std::size_t{1}
-                     : std::min<std::size_t>(256, std::size_t{threads_} * 8)) {
-  }
+        visited_(StateTable::Config{
+            threads_ <= 1
+                ? std::size_t{1}
+                : std::min<std::size_t>(256, std::size_t{threads_} * 8),
+            limits.memo_probation, limits.memo_budget_bytes}) {}
 
   DeadlockSearchResult run(sim::WormholeSimulator root,
                            std::size_t message_count) {
@@ -343,42 +361,39 @@ class SearchEngine {
     // synchronous search carries an empty one instead of copying a zero
     // vector per transition.
     std::vector<std::uint32_t> spent0(delay_mode_ ? message_count : 0, 0);
-    std::deque<WorkItem> queue;
     bool found = false;
     std::vector<Assignment> winner_path;
 
-    if (register_state(root, spent0, lead) == Register::kFresh)
-      queue.push_back(WorkItem{std::move(root), std::move(spent0), {}});
+    deques_.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t)
+      deques_.push_back(std::make_unique<ItemDeque>());
 
-    if (!queue.empty() && threads_ > 1)
-      expand_frontier(queue, lead, found, winner_path);
+    if (register_state(root, spent0, lead) == Register::kFresh) {
+      outstanding_.store(1, std::memory_order_relaxed);
+      items_created_.store(1, std::memory_order_relaxed);
+      deques_[0]->items.push_back(
+          WorkItem{std::move(root), std::move(spent0), {}, {}});
+      if (status_ != nullptr) status_->set_frontier(1);
 
-    if (!found && !over_budget_.load(std::memory_order_relaxed) &&
-        !queue.empty()) {
-      std::vector<WorkItem> items;
-      items.reserve(queue.size());
-      for (WorkItem& item : queue) items.push_back(std::move(item));
-      queue.clear();
-      if (status_ != nullptr) status_->set_frontier(items.size());
-
-      if (threads_ <= 1 || items.size() == 1) {
-        worker_loop(lead, items);
+      if (threads_ <= 1) {
+        worker_loop(lead);
       } else {
         std::vector<std::thread> pool;
         pool.reserve(threads_ - 1);
         for (unsigned t = 1; t < threads_; ++t)
-          pool.emplace_back(
-              [this, &items, t] { worker_loop(workers_[t], items); });
-        worker_loop(lead, items);
+          pool.emplace_back([this, t] { worker_loop(workers_[t]); });
+        worker_loop(lead);
         for (std::thread& th : pool) th.join();
       }
 
-      // Winner: the deadlock in the lowest-numbered frontier subtree among
-      // those reported (each item has a unique owner, so no ties).
+      // Winner: the deadlock with the lexicographically least Dewey ordinal
+      // among those reported — the one a serial DFS would reach first.
+      // Every tree edge is materialized exactly once across items, so
+      // ordinals are unique and there are no ties.
       const Worker* winner = nullptr;
       for (const Worker& w : workers_)
         if (w.found_deadlock &&
-            (winner == nullptr || w.found_item < winner->found_item))
+            (winner == nullptr || w.found_ordinal < winner->found_ordinal))
           winner = &w;
       if (winner != nullptr) {
         found = true;
@@ -386,7 +401,32 @@ class SearchEngine {
       }
     }
 
+    // A deadlock-positive parallel result depends on which worker won the
+    // race; re-derive it serially so witness, profile and state counts are
+    // byte-identical to a threads=1 run. The parallel search served as the
+    // (sound) oracle that a deadlock exists; exhaustive negative searches
+    // — the expensive case — never reach this. Falls back to the raw
+    // parallel winner if the serial rerun hits a limit first (possible when
+    // the parallel schedule lucked into the deadlock within max_states).
+    if (found && threads_ > 1 && limits_.canonical_witness) {
+      SearchLimits serial_limits = limits_;
+      serial_limits.threads = 1;
+      serial_limits.status = nullptr;
+      SearchEngine serial(net_, model_, serial_limits, red_);
+      DeadlockSearchResult canon =
+          serial.run(sim::WormholeSimulator(pristine), message_count);
+      if (canon.deadlock_found) {
+        if (status_ != nullptr) {
+          for (const Worker& w : workers_)
+            status_->publish_worker(w.index, w.profile);
+          status_->end_search(canon.states_explored);
+        }
+        return canon;
+      }
+    }
+
     for (const Worker& w : workers_) result.profile.merge_from(w.profile);
+    result.profile.table_peak_resident_bytes = visited_.resident_bytes();
     result.worker_profiles.reserve(workers_.size());
     for (const Worker& w : workers_)
       result.worker_profiles.push_back(w.profile);
@@ -419,7 +459,10 @@ class SearchEngine {
   }
 
  private:
-  enum class Register { kFresh, kSeen, kOverBudget };
+  /// What registering a state decided. kReexplore (probation tier only) is
+  /// handled like kFresh by every caller — the state must be expanded —
+  /// but is counted separately in the profile.
+  enum class Register { kFresh, kSeen, kReexplore, kOverBudget };
 
   /// One DFS execution context; the serial search uses exactly one.
   struct Worker {
@@ -448,8 +491,16 @@ class SearchEngine {
     SearchProfile profile;
     bool exhausted = true;
     bool found_deadlock = false;
-    std::size_t found_item = std::numeric_limits<std::size_t>::max();
+    /// Dewey ordinal of the found deadlock: the branch index taken at every
+    /// tree level from the root. Lexicographic order over these is exactly
+    /// serial DFS discovery order, and it survives item splits because each
+    /// item carries its own ordinal prefix.
+    std::vector<std::uint32_t> found_ordinal;
     std::vector<Assignment> deadlock_path;  ///< root -> deadlock state
+    /// Busy-phase bookkeeping so the stride publisher can report live
+    /// busy_ns mid-item (the profile field is only folded at item end).
+    std::chrono::steady_clock::time_point busy_phase_start{};
+    bool in_busy_phase = false;
   };
 
   /// One DFS node. The generator runs one assignment ahead (`pending`), so
@@ -470,14 +521,30 @@ class SearchEngine {
     Assignment entry;    ///< choice that led INTO this frame's state
     Assignment pending;  ///< next branch to take; valid when has_pending
     bool has_pending = false;
+    /// Dewey bookkeeping: the ordinal of the entry edge, and the next
+    /// ordinal to hand out for a branch materialized from this frame's
+    /// generator (budget-pruned branches consume one too — the numbering
+    /// follows the deterministic generator sequence, not survivorship).
+    std::uint32_t entry_ordinal = 0;
+    std::uint32_t next_ordinal = 0;
   };
 
   /// A subtree root: a registered, not-yet-expanded state plus the
-  /// assignments that reach it from the initial state.
+  /// assignments that reach it from the initial state and the Dewey
+  /// ordinal of that path (for the deterministic winner rule).
   struct WorkItem {
     sim::WormholeSimulator sim;
     std::vector<std::uint32_t> spent;
     std::vector<Assignment> path;
+    std::vector<std::uint32_t> ordinal;
+  };
+
+  /// One worker's deque of work items. The mutex is taken for pushes, own
+  /// pops (back) and steals (front) — all O(1) critical sections; the deep
+  /// DFS work happens outside it.
+  struct ItemDeque {
+    std::mutex mutex;
+    std::deque<WorkItem> items;
   };
 
   [[nodiscard]] bool stop_requested() const {
@@ -514,9 +581,17 @@ class SearchEngine {
     } else {
       key = sim.state_key_view();
     }
-    if (!visited_.insert(key)) {
+    const StateTable::Lookup look = visited_.lookup_or_insert(key);
+    if (look == StateTable::Lookup::kSeen) {
       ++w.profile.memo_hits;
       return Register::kSeen;
+    }
+    if (look == StateTable::Lookup::kOverBudget) {
+      // The memo table hit its resident-bytes budget: the state was not
+      // recorded, so exploring past it could not be memoized soundly. Ends
+      // the search non-exhausted, exactly like a max_states overflow.
+      over_budget_.store(true, std::memory_order_relaxed);
+      return Register::kOverBudget;
     }
     const std::uint64_t count =
         states_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -525,13 +600,23 @@ class SearchEngine {
       over_budget_.store(true, std::memory_order_relaxed);
       return Register::kOverBudget;
     }
-    // Every fresh state is a memo miss charged to the registering worker,
-    // so the per-worker shards partition states_explored exactly: folding
-    // every worker's memo_misses reproduces the global count.
-    ++w.profile.memo_misses;
+    // Every expansion is charged to the registering worker, so the
+    // per-worker shards partition states_explored exactly: folding every
+    // worker's memo_misses + reexplorations reproduces the global count.
+    if (look == StateTable::Lookup::kFresh)
+      ++w.profile.memo_misses;
+    else
+      ++w.profile.reexplorations;
     if (status_ != nullptr &&
-        (w.profile.memo_misses & (kStatusPublishStride - 1)) == 0) {
-      status_->publish_worker(w.index, w.profile);
+        ((w.profile.memo_misses + w.profile.reexplorations) &
+         (kStatusPublishStride - 1)) == 0) {
+      SearchProfile live = w.profile;
+      if (w.in_busy_phase)
+        live.busy_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - w.busy_phase_start)
+                .count());
+      status_->publish_worker(w.index, live);
       status_->publish_states(count);
     }
     if (limits_.progress_log_interval != 0 &&
@@ -544,7 +629,8 @@ class SearchEngine {
                                 : 0)
                         << " states/s";
     }
-    return Register::kFresh;
+    return look == StateTable::Lookup::kFresh ? Register::kFresh
+                                              : Register::kReexplore;
   }
 
   /// Forks a child off `parent`. Reuses a pooled retired simulator when one
@@ -676,89 +762,170 @@ class SearchEngine {
     frame.gen.recycle_into(w.groups_pool, w.red_pool);
   }
 
-  /// Serial BFS over the first plies until the queue holds enough subtree
-  /// roots to feed every worker (or the space ran out first). States popped
-  /// here are expanded exactly once, like any DFS state; queue survivors
-  /// are expanded later by the workers.
-  void expand_frontier(std::deque<WorkItem>& queue, Worker& w, bool& found,
-                       std::vector<Assignment>& winner_path) {
-    const std::size_t target = std::size_t{threads_} * 4;
-    std::size_t pops = 0;
-    const std::size_t pop_cap = std::max<std::size_t>(64, target * 16);
-    std::vector<Frame> scratch;  // one-frame stack, reused across pops
-    while (!queue.empty() && queue.size() < target && pops < pop_cap) {
-      WorkItem item = std::move(queue.front());
-      queue.pop_front();
-      ++pops;
-      std::vector<Assignment> path = std::move(item.path);
-      w.profile.peak_depth =
-          std::max<std::uint64_t>(w.profile.peak_depth, path.size() + 1);
-      scratch.clear();
-      const Open opened =
-          open_frame(scratch, std::move(item.sim), std::move(item.spent), w);
-      if (w.found_deadlock) {
-        found = true;
-        winner_path = std::move(path);
-        deadlock_found_.store(true, std::memory_order_relaxed);
-        return;
+  /// Pops the worker's own newest item (back), else sweeps the peers'
+  /// deques from the next index up and steals the oldest item (front) of
+  /// the first non-empty one — front items are the earliest splits, i.e.
+  /// the shallowest subtree roots, the largest expected work.
+  std::optional<WorkItem> acquire_item(Worker& w) {
+    {
+      ItemDeque& mine = *deques_[w.index];
+      std::lock_guard<std::mutex> lock(mine.mutex);
+      if (!mine.items.empty()) {
+        std::optional<WorkItem> item(std::move(mine.items.back()));
+        mine.items.pop_back();
+        return item;
       }
-      if (opened == Open::kTerminal) continue;  // safe terminal
-      Frame& frame = scratch.back();
-      while (frame.has_pending) {
-        Assignment& choice = w.branch_scratch;
-        choice = std::move(frame.pending);
-        frame.has_pending = frame.gen.next(frame.pending, w.taken);
-        std::vector<std::uint32_t> child_spent;
-        if (delay_mode_) {
-          child_spent = frame.spent;
-          for (const MessageId m : choice.stalled_moving)
-            ++child_spent[m.index()];
-          if (!budget_ok(child_spent)) {
-            ++w.profile.budget_prunes;
-            continue;
-          }
-        }
-        sim::WormholeSimulator child =
-            frame.has_pending ? fork_sim(frame.sim, w)
-                              : std::move(frame.sim);
-        child.step_with_grants_trusted(choice.grants);
-        const Register reg = register_state(child, child_spent, w);
-        if (reg == Register::kSeen) {
-          donate_sim(std::move(child), w);
+    }
+    for (unsigned k = 1; k < threads_; ++k) {
+      const std::size_t victim = (w.index + k) % threads_;
+      ++w.profile.steal_attempts;
+      ItemDeque& deque = *deques_[victim];
+      std::lock_guard<std::mutex> lock(deque.mutex);
+      if (deque.items.empty()) continue;
+      std::optional<WorkItem> item(std::move(deque.items.front()));
+      deque.items.pop_front();
+      ++w.profile.steals;
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  /// Splits pending sibling branches of the shallowest unexhausted frame of
+  /// `stack` into new work items on the worker's own deque, so starving
+  /// peers can steal them. Called from run_item only when starving_ > 0.
+  /// The shallowest frame holds the largest remaining subtrees, and — key
+  /// invariant — a frame with has_pending still owns its simulator (the
+  /// move-out only happens on the *last* branch, which clears has_pending),
+  /// so its children can always be forked. Materialized branches consume
+  /// Dewey ordinals exactly as run_item would have, so the winner rule is
+  /// split-invariant.
+  void maybe_split(Worker& w, std::vector<Frame>& stack,
+                   const WorkItem& item) {
+    std::size_t f = 0;
+    while (f < stack.size() && !stack[f].has_pending) ++f;
+    if (f == stack.size()) return;
+    {
+      ItemDeque& mine = *deques_[w.index];
+      std::lock_guard<std::mutex> lock(mine.mutex);
+      if (mine.items.size() >= kDequeCap) return;
+    }
+    Frame& frame = stack[f];
+    std::vector<Assignment> prefix_path = item.path;
+    std::vector<std::uint32_t> prefix_ordinal = item.ordinal;
+    for (std::size_t i = 1; i <= f; ++i) {
+      prefix_path.push_back(stack[i].entry);
+      prefix_ordinal.push_back(stack[i].entry_ordinal);
+    }
+
+    std::vector<WorkItem> batch;
+    while (frame.has_pending && batch.size() < limits_.steal_granularity) {
+      Assignment choice = std::move(frame.pending);
+      const std::uint32_t ordinal = frame.next_ordinal++;
+      frame.has_pending = frame.gen.next(frame.pending, w.taken);
+      std::vector<std::uint32_t> child_spent;
+      if (delay_mode_) {
+        child_spent = frame.spent;
+        for (const MessageId m : choice.stalled_moving)
+          ++child_spent[m.index()];
+        if (!budget_ok(child_spent)) {
+          ++w.profile.budget_prunes;
           continue;
         }
-        if (reg == Register::kOverBudget) {
-          w.exhausted = false;
-          retire_frame(frame, w);
-          return;
-        }
-        std::vector<Assignment> child_path = path;
-        child_path.push_back(choice);
-        queue.push_back(WorkItem{std::move(child), std::move(child_spent),
-                                 std::move(child_path)});
       }
-      retire_frame(frame, w);
+      sim::WormholeSimulator child =
+          frame.has_pending ? fork_sim(frame.sim, w) : std::move(frame.sim);
+      child.step_with_grants_trusted(choice.grants);
+      const Register reg = register_state(child, child_spent, w);
+      if (reg == Register::kSeen) {
+        donate_sim(std::move(child), w);
+        continue;
+      }
+      if (reg == Register::kOverBudget) {
+        w.exhausted = false;
+        break;
+      }
+      std::vector<Assignment> child_path = prefix_path;
+      child_path.push_back(std::move(choice));
+      std::vector<std::uint32_t> child_ordinal = prefix_ordinal;
+      child_ordinal.push_back(ordinal);
+      batch.push_back(WorkItem{std::move(child), std::move(child_spent),
+                               std::move(child_path),
+                               std::move(child_ordinal)});
+    }
+    if (batch.empty()) return;
+    // outstanding_ rises before the items become stealable; it cannot hit
+    // zero meanwhile because this worker's own running item is still
+    // outstanding.
+    outstanding_.fetch_add(batch.size(), std::memory_order_relaxed);
+    items_created_.fetch_add(batch.size(), std::memory_order_relaxed);
+    ++w.profile.splits;
+    w.profile.split_items += batch.size();
+    {
+      ItemDeque& mine = *deques_[w.index];
+      std::lock_guard<std::mutex> lock(mine.mutex);
+      for (WorkItem& wi : batch) mine.items.push_back(std::move(wi));
     }
   }
 
-  void worker_loop(Worker& w, std::vector<WorkItem>& items) {
-    while (!stop_requested()) {
-      const std::size_t i =
-          next_item_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= items.size()) return;
+  void worker_loop(Worker& w) {
+    const auto elapsed_ns = [](std::chrono::steady_clock::time_point from,
+                               std::chrono::steady_clock::time_point to) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+              .count());
+    };
+    auto phase_start = std::chrono::steady_clock::now();
+    bool starving = false;
+    unsigned failures = 0;
+    while (!stop_requested() && !done_.load(std::memory_order_acquire)) {
+      std::optional<WorkItem> item = acquire_item(w);
+      if (!item) {
+        // Flag starvation so busy workers split their stacks, then back
+        // off: yield first, sleep once the drought persists.
+        if (!starving) {
+          starving_.fetch_add(1, std::memory_order_relaxed);
+          starving = true;
+        }
+        if (++failures > 16)
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        else
+          std::this_thread::yield();
+        continue;
+      }
+      if (starving) {
+        starving_.fetch_sub(1, std::memory_order_relaxed);
+        starving = false;
+      }
+      failures = 0;
+      const auto acquired_at = std::chrono::steady_clock::now();
+      w.profile.idle_ns += elapsed_ns(phase_start, acquired_at);
+      w.busy_phase_start = acquired_at;
+      w.in_busy_phase = true;
+      run_item(w, std::move(*item));
+      w.in_busy_phase = false;
+      phase_start = std::chrono::steady_clock::now();
+      w.profile.busy_ns += elapsed_ns(w.busy_phase_start, phase_start);
+      items_completed_.fetch_add(1, std::memory_order_relaxed);
       if (status_ != nullptr) {
-        status_->publish_frontier_next(std::min(i + 1, items.size()));
+        status_->set_frontier(items_created_.load(std::memory_order_relaxed));
+        status_->publish_frontier_next(
+            items_completed_.load(std::memory_order_relaxed));
         status_->publish_worker(w.index, w.profile);
       }
-      run_item(w, std::move(items[i]), i);
-      if (w.found_deadlock) return;
+      // Last finished item flips done_: every created item was completed,
+      // so every registered state was expanded — the space is covered.
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        done_.store(true, std::memory_order_release);
     }
+    if (starving) starving_.fetch_sub(1, std::memory_order_relaxed);
+    w.profile.idle_ns +=
+        elapsed_ns(phase_start, std::chrono::steady_clock::now());
   }
 
   /// DFS over one subtree. Frames carry generator cursors; each branch is
   /// materialized once into the worker's scratch Assignment, and copied
   /// only when its child state turns out to be fresh.
-  void run_item(Worker& w, WorkItem&& item, std::size_t index) {
+  void run_item(Worker& w, WorkItem&& item) {
     const std::size_t base_depth = item.path.size();
     std::vector<Frame> stack;
 
@@ -767,16 +934,18 @@ class SearchEngine {
         w.profile.branch_factor.observe(
             static_cast<double>(f.gen.yielded()));
     };
-    const auto report_deadlock = [&](std::vector<Assignment>&& path) {
+    const auto report_deadlock = [&](std::vector<Assignment>&& path,
+                                     std::vector<std::uint32_t>&& ordinal) {
       w.found_deadlock = true;
-      w.found_item = index;
+      w.found_ordinal = std::move(ordinal);
       w.deadlock_path = std::move(path);
       deadlock_found_.store(true, std::memory_order_relaxed);
     };
 
     if (open_frame(stack, std::move(item.sim), std::move(item.spent), w) ==
         Open::kTerminal) {
-      if (w.found_deadlock) report_deadlock(std::move(item.path));
+      if (w.found_deadlock)
+        report_deadlock(std::move(item.path), std::move(item.ordinal));
       return;
     }
     w.profile.peak_depth = std::max<std::uint64_t>(
@@ -787,6 +956,9 @@ class SearchEngine {
         drain_observe();
         return;
       }
+      if (threads_ > 1 &&
+          starving_.load(std::memory_order_relaxed) > 0)
+        maybe_split(w, stack, item);
       Frame& top = stack.back();
       if (!top.has_pending) {
         retire_frame(top, w);
@@ -795,6 +967,7 @@ class SearchEngine {
       }
       Assignment& choice = w.branch_scratch;
       choice = std::move(top.pending);
+      const std::uint32_t choice_ordinal = top.next_ordinal++;
       top.has_pending = top.gen.next(top.pending, w.taken);
 
       std::vector<std::uint32_t> child_spent;
@@ -831,12 +1004,17 @@ class SearchEngine {
           open_frame(stack, std::move(child), std::move(child_spent), w);
       if (w.found_deadlock) {
         // The deadlock execution: the item's prefix, every entry choice on
-        // the DFS stack (subtree root excluded), then the final choice.
+        // the DFS stack (subtree root excluded), then the final choice —
+        // and the matching Dewey ordinal for the winner rule.
         std::vector<Assignment> path = std::move(item.path);
-        for (std::size_t f = 1; f < stack.size(); ++f)
+        std::vector<std::uint32_t> ordinal = std::move(item.ordinal);
+        for (std::size_t f = 1; f < stack.size(); ++f) {
           path.push_back(stack[f].entry);
+          ordinal.push_back(stack[f].entry_ordinal);
+        }
         path.push_back(choice);
-        report_deadlock(std::move(path));
+        ordinal.push_back(choice_ordinal);
+        report_deadlock(std::move(path), std::move(ordinal));
         drain_observe();
         return;
       }
@@ -845,6 +1023,7 @@ class SearchEngine {
         // generator clears moved-from scratch before reusing it); copying
         // the grant vector per fresh state showed up in the profile.
         stack.back().entry = std::move(w.branch_scratch);
+        stack.back().entry_ordinal = choice_ordinal;
         w.profile.peak_depth = std::max<std::uint64_t>(
             w.profile.peak_depth, base_depth + stack.size());
       } else {
@@ -905,7 +1084,18 @@ class SearchEngine {
   std::atomic<std::uint64_t> states_{0};
   std::atomic<bool> deadlock_found_{false};
   std::atomic<bool> over_budget_{false};
-  std::atomic<std::size_t> next_item_{0};
+  /// Work-stealing scheduler state. outstanding_ counts created-but-not-
+  /// completed items (root = 1, +n per split, -1 per completion); the
+  /// worker that drops it to zero sets done_. starving_ counts workers
+  /// whose acquire sweep came up empty — busy workers split their stacks
+  /// while it is nonzero. items_created_/items_completed_ are telemetry
+  /// (published as the status board's frontier size / consumed counters).
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<int> starving_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> items_created_{0};
+  std::atomic<std::uint64_t> items_completed_{0};
+  std::vector<std::unique_ptr<ItemDeque>> deques_;
   std::vector<Worker> workers_;
   std::chrono::steady_clock::time_point started_;
 };

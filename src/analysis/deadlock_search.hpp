@@ -25,17 +25,23 @@
 // negative answer within the state bound is a *proof* of unreachability for
 // the given message multiset, buffer depth and (in kBoundedDelay) budget.
 //
-// Engine (see DESIGN.md §9): states are memoized in an exact binary
-// StateTable (state_table.hpp); adversary assignments are generated lazily
+// Engine (see DESIGN.md §9 and §16): states are memoized in a byte-exact
+// StateTable (state_table.hpp, optionally two-tier under
+// SearchLimits::memo_probation); adversary assignments are generated lazily
 // by a mixed-radix odometer, so DFS frames hold a cursor rather than a
-// materialized branch vector; and with SearchLimits::threads > 1 the first
-// plies are expanded serially into a frontier of independent subtrees that
-// worker DFSs drain concurrently over a shared visited table. Verdicts
-// (deadlock_found / exhausted) are deterministic either way: the workers'
-// visited sets jointly cover the reachable space, so "every worker
-// exhausted" is still a proof, and any reachable deadlock is found by some
-// worker. A found deadlock is replayed serially through step_with_grants
-// from the initial state to rebuild the exact configuration and witness.
+// materialized branch vector; and with SearchLimits::threads > 1 the
+// workers run a work-stealing DFS: each worker owns a deque of subtree-root
+// work items, pushes dynamically split-off subtrees of its own stack when
+// peers starve, and steals from the front of a victim's deque when its own
+// runs dry. Verdicts (deadlock_found / exhausted) are deterministic either
+// way: the workers' shared visited table jointly covers the reachable
+// space, so "every worker exhausted" is still a proof, and any reachable
+// deadlock is found by some worker; when several are, Dewey-ordinal
+// tracking through splits picks the DFS-first one. A found deadlock is
+// replayed serially through step_with_grants from the initial state to
+// rebuild the exact configuration and witness (and, by default, re-derived
+// by a serial search so the whole result is thread-count-independent —
+// see SearchLimits::canonical_witness).
 #pragma once
 
 #include <algorithm>
@@ -79,12 +85,37 @@ struct SearchLimits {
   /// Info level every this-many explored states.
   std::uint64_t progress_log_interval = 0;
   /// DFS worker threads. 1 (the default) runs fully serially. Values > 1
-  /// expand the first plies serially into a frontier of subtrees, then run
-  /// this many workers over it (shared visited table, work stealing).
+  /// run this many work-stealing DFS workers over a shared visited table.
   /// 0 means std::thread::hardware_concurrency(). Verdicts are identical to
-  /// the serial search; states_explored/profile counters may vary slightly
-  /// run-to-run because workers race to memoize shared states.
+  /// the serial search; states_explored is too for exhaustive searches
+  /// (each unique state is expanded exactly once whoever reaches it);
+  /// per-worker shard counters vary run-to-run because workers race to
+  /// memoize shared states.
   unsigned threads = 1;
+  /// Work stealing: how many sibling branches a worker materializes into
+  /// its deque per split when peers starve. Larger values amortize split
+  /// overhead; smaller values spread work sooner. Purely a scheduling knob:
+  /// verdicts, witnesses and exhaustive state counts do not depend on it.
+  std::size_t steal_granularity = 8;
+  /// Two-tier memoization (StateTable::Config::probation): first-touch
+  /// states cost 8 bytes instead of a full key, at the price of re-expanding
+  /// second-touched states once (sound; see DESIGN.md §16). Off by default
+  /// because it changes states_explored (re-expansions count), which is why
+  /// it folds into the campaign truth fingerprint.
+  bool memo_probation = false;
+  /// Cap on the StateTable's logical resident bytes (0 = unlimited).
+  /// Overflow ends the search non-exhausted, exactly like max_states.
+  /// Folds into the campaign truth fingerprint when set.
+  std::uint64_t memo_budget_bytes = 0;
+  /// When a parallel search finds a deadlock, re-derive the result with a
+  /// serial search so witness, profile and state counts are byte-identical
+  /// to threads=1 (the parallel run serves as the oracle that a deadlock
+  /// exists; the serial rerun finds the DFS-first one). Costs one serial
+  /// search on deadlock-positive results only — exhaustive (negative)
+  /// searches, the expensive case, never pay it. Off: return the raw
+  /// parallel winner (lowest Dewey ordinal), whose witness is still
+  /// deterministic for a fixed thread count.
+  bool canonical_witness = true;
   /// Partial-order / symmetry reduction (see reduction.hpp and DESIGN.md
   /// §12). kOff reproduces the historical exhaustive enumeration bit for
   /// bit. kSafe/kOn preserve verdicts and witnesses-by-replay but visit
@@ -120,6 +151,26 @@ struct SearchProfile {
   std::uint64_t branch_truncations = 0;
   /// Child transitions discarded because they exceeded the delay budget.
   std::uint64_t budget_prunes = 0;
+  /// States expanded a second time because the memo table answered
+  /// kReexplore (probation-tier fingerprint hit; 0 with memo_probation
+  /// off). states_explored counts these, memo_misses does not.
+  std::uint64_t reexplorations = 0;
+  /// Work-stealing scheduler counters (0 in a serial search). steals counts
+  /// items taken from another worker's deque; steal_attempts counts victim
+  /// probes (including failed ones); splits counts stack-split events and
+  /// split_items the work items they materialized.
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t split_items = 0;
+  /// Per-worker wall time split into running-an-item (busy) and looking-
+  /// for-work (idle) phases. Scheduling telemetry, not determinism-bearing.
+  std::uint64_t busy_ns = 0;
+  std::uint64_t idle_ns = 0;
+  /// StateTable peak accounted footprint (see StateTable::resident_bytes).
+  /// Stamped on the merged profile only, like the timing fields; merging
+  /// takes the max since shards observe one shared table.
+  std::uint64_t table_peak_resident_bytes = 0;
   /// Wall-clock figures, stamped once per search. elapsed_seconds is
   /// clamped to >= 1e-9 so sub-millisecond searches (tiny fixtures, warm
   /// caches) never quantize to 0 and states_per_second stays finite and
@@ -144,6 +195,15 @@ struct SearchProfile {
     branch_factor.merge_from(other.branch_factor);
     branch_truncations += other.branch_truncations;
     budget_prunes += other.budget_prunes;
+    reexplorations += other.reexplorations;
+    steals += other.steals;
+    steal_attempts += other.steal_attempts;
+    splits += other.splits;
+    split_items += other.split_items;
+    busy_ns += other.busy_ns;
+    idle_ns += other.idle_ns;
+    table_peak_resident_bytes =
+        std::max(table_peak_resident_bytes, other.table_peak_resident_bytes);
   }
 };
 

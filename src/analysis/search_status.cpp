@@ -85,6 +85,11 @@ obs::SearchStatus to_search_status(const SearchStatusBoard::Sample& sample) {
   out.peak_depth = merged.peak_depth;
   out.branch_truncations = merged.branch_truncations;
   out.budget_prunes = merged.budget_prunes;
+  out.reexplorations = merged.reexplorations;
+  out.steals = merged.steals;
+  out.steal_attempts = merged.steal_attempts;
+  out.splits = merged.splits;
+  out.split_items = merged.split_items;
   out.branch_p50 = merged.branch_factor.p50();
   out.branch_p90 = merged.branch_factor.p90();
   out.branch_p99 = merged.branch_factor.p99();
@@ -93,6 +98,8 @@ obs::SearchStatus to_search_status(const SearchStatusBoard::Sample& sample) {
   out.table_arena_bytes = sample.table.arena_bytes;
   out.table_stripes = sample.table.stripes;
   out.table_contended_locks = sample.table.contended_locks;
+  out.table_probation_keys = sample.table.probation_keys;
+  out.table_resident_bytes = sample.table.resident_bytes;
   return out;
 }
 
@@ -104,6 +111,12 @@ obs::WorkerStatus to_worker_status(const SearchProfile& profile) {
   out.peak_depth = profile.peak_depth;
   out.branch_truncations = profile.branch_truncations;
   out.budget_prunes = profile.budget_prunes;
+  out.reexplorations = profile.reexplorations;
+  out.steals = profile.steals;
+  out.steal_attempts = profile.steal_attempts;
+  out.splits = profile.splits;
+  out.busy_ns = profile.busy_ns;
+  out.idle_ns = profile.idle_ns;
   out.branch_p50 = profile.branch_factor.p50();
   out.branch_p90 = profile.branch_factor.p90();
   out.branch_p99 = profile.branch_factor.p99();

@@ -40,8 +40,8 @@ class SearchStatusBoard {
     std::uint64_t searches_finished = 0;
     std::uint64_t states_explored = 0;  ///< current (or last) search
     std::uint64_t max_states = 0;
-    std::uint64_t frontier_size = 0;  ///< parallel frontier items built
-    std::uint64_t frontier_next = 0;  ///< items claimed so far
+    std::uint64_t frontier_size = 0;  ///< work items created so far
+    std::uint64_t frontier_next = 0;  ///< work items completed so far
     double elapsed_seconds = 0;       ///< current search; final when idle
     StateTable::Stats table;          ///< live when active, else last final
     std::vector<SearchProfile> workers;

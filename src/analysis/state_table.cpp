@@ -15,13 +15,42 @@ constexpr std::size_t kLoadDen = 10;
 
 }  // namespace
 
-StateTable::StateTable(std::size_t stripes)
-    : stripes_(std::bit_ceil(stripes == 0 ? std::size_t{1} : stripes)) {
+StateTable::StateTable(const Config& config)
+    : stripes_(std::bit_ceil(config.stripes == 0 ? std::size_t{1}
+                                                 : config.stripes)),
+      probation_(config.probation),
+      budget_(config.budget_bytes) {
   stripe_mask_ = stripes_.size() - 1;
-  for (Stripe& s : stripes_) s.slots.resize(kInitialSlots);
+  for (Stripe& s : stripes_) {
+    s.slots.resize(kInitialSlots);
+    if (probation_) s.probe.resize(kInitialSlots);
+  }
+  // The baseline arrays are charged unconditionally: a budget smaller than
+  // the empty table makes every exact-tier insert fail, reported honestly
+  // as kOverBudget. (Probation fingerprints occupy the pre-charged probe
+  // array, so first touches still record; the budget bites at promotion.)
+  resident_.fetch_add(
+      stripes_.size() *
+          (kInitialSlots * sizeof(Slot) +
+           (probation_ ? kInitialSlots * sizeof(std::uint64_t) : 0)),
+      std::memory_order_relaxed);
 }
 
-void StateTable::grow(Stripe& stripe) {
+bool StateTable::charge(std::uint64_t delta) {
+  if (budget_ == 0) {
+    resident_.fetch_add(delta, std::memory_order_relaxed);
+    return true;
+  }
+  std::uint64_t current = resident_.load(std::memory_order_relaxed);
+  do {
+    if (current + delta > budget_) return false;
+  } while (!resident_.compare_exchange_weak(current, current + delta,
+                                            std::memory_order_relaxed));
+  return true;
+}
+
+bool StateTable::grow_exact(Stripe& stripe) {
+  if (!charge(stripe.slots.size() * sizeof(Slot))) return false;
   std::vector<Slot> next(stripe.slots.size() * 2);
   const std::uint64_t mask = next.size() - 1;
   for (const Slot& slot : stripe.slots) {
@@ -31,9 +60,43 @@ void StateTable::grow(Stripe& stripe) {
     next[i] = slot;
   }
   stripe.slots = std::move(next);
+  return true;
 }
 
-bool StateTable::insert_hashed(std::string_view key, std::uint64_t hash) {
+bool StateTable::grow_probe(Stripe& stripe) {
+  if (!charge(stripe.probe.size() * sizeof(std::uint64_t))) return false;
+  std::vector<std::uint64_t> next(stripe.probe.size() * 2);
+  const std::uint64_t mask = next.size() - 1;
+  for (const std::uint64_t fp : stripe.probe) {
+    if (fp == 0) continue;
+    std::uint64_t i = fp & mask;
+    while (next[i] != 0) i = (i + 1) & mask;
+    next[i] = fp;
+  }
+  stripe.probe = std::move(next);
+  return true;
+}
+
+bool StateTable::insert_exact_locked(Stripe& stripe, std::string_view key,
+                                     std::uint64_t hash) {
+  if ((stripe.count + 1) * kLoadDen > stripe.slots.size() * kLoadNum &&
+      !grow_exact(stripe))
+    return false;
+  if (!charge(key.size())) return false;
+  const std::uint64_t mask = stripe.slots.size() - 1;
+  std::uint64_t i = hash & mask;
+  while (stripe.slots[i].hash != 0) i = (i + 1) & mask;
+  Slot& slot = stripe.slots[i];
+  slot.hash = hash;
+  slot.offset = stripe.arena.size();
+  slot.length = static_cast<std::uint32_t>(key.size());
+  stripe.arena.append(key);
+  ++stripe.count;
+  return true;
+}
+
+StateTable::Lookup StateTable::lookup_or_insert_hashed(std::string_view key,
+                                                       std::uint64_t hash) {
   WORMSIM_ASSERT(!key.empty());
   if (hash == 0) hash = 0x9e3779b97f4a7c15ull;  // 0 is the empty-slot mark
   // High bits pick the stripe, low bits the probe start, so the probe
@@ -47,26 +110,58 @@ bool StateTable::insert_hashed(std::string_view key, std::uint64_t hash) {
     ++stripe.contended;
   }
 
-  if ((stripe.count + 1) * kLoadDen > stripe.slots.size() * kLoadNum)
-    grow(stripe);
-
-  const std::uint64_t mask = stripe.slots.size() - 1;
-  std::uint64_t i = hash & mask;
-  while (true) {
-    Slot& slot = stripe.slots[i];
-    if (slot.hash == 0) {
-      slot.hash = hash;
-      slot.offset = stripe.arena.size();
-      slot.length = static_cast<std::uint32_t>(key.size());
-      stripe.arena.append(key);
-      ++stripe.count;
-      return true;
+  // Exact tier first: a byte match is the only verdict that prunes.
+  {
+    const std::uint64_t mask = stripe.slots.size() - 1;
+    std::uint64_t i = hash & mask;
+    while (true) {
+      const Slot& slot = stripe.slots[i];
+      if (slot.hash == 0) break;
+      if (slot.hash == hash && slot.length == key.size() &&
+          stripe.arena.compare(slot.offset, slot.length, key) == 0)
+        return Lookup::kSeen;
+      i = (i + 1) & mask;
     }
-    if (slot.hash == hash && slot.length == key.size() &&
-        stripe.arena.compare(slot.offset, slot.length, key) == 0)
-      return false;  // exact match: already visited
-    i = (i + 1) & mask;
   }
+
+  if (probation_) {
+    const std::uint64_t mask = stripe.probe.size() - 1;
+    std::uint64_t i = hash & mask;
+    bool hit = false;
+    while (true) {
+      const std::uint64_t fp = stripe.probe[i];
+      if (fp == 0) break;
+      if (fp == hash) {
+        hit = true;
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+    if (!hit) {
+      // First touch: fingerprint only. Growth can move the empty slot, so
+      // re-probe after it.
+      if ((stripe.probe_count + 1) * kLoadDen >
+          stripe.probe.size() * kLoadNum) {
+        if (!grow_probe(stripe)) return Lookup::kOverBudget;
+        const std::uint64_t grown_mask = stripe.probe.size() - 1;
+        i = hash & grown_mask;
+        while (stripe.probe[i] != 0) i = (i + 1) & grown_mask;
+      }
+      stripe.probe[i] = hash;
+      ++stripe.probe_count;
+      return Lookup::kFresh;
+    }
+    // Second touch (or a fingerprint collision): promote the full key so
+    // the exact tier terminates every later touch, and tell the caller to
+    // expand — the first toucher's subtree was explored, but *this* key may
+    // be a colliding stranger, so maybe-seen never prunes.
+    if (!insert_exact_locked(stripe, key, hash)) return Lookup::kOverBudget;
+    ++stripe.promotions;
+    return Lookup::kReexplore;
+  }
+
+  if (!insert_exact_locked(stripe, key, hash)) return Lookup::kOverBudget;
+  return Lookup::kFresh;
 }
 
 std::uint64_t StateTable::size() const {
@@ -87,7 +182,11 @@ StateTable::Stats StateTable::stats() const {
     out.slots += stripe.slots.size();
     out.arena_bytes += stripe.arena.size();
     out.contended_locks += stripe.contended;
+    out.probation_keys += stripe.probe_count;
+    out.probation_slots += stripe.probe.size();
+    out.promotions += stripe.promotions;
   }
+  out.resident_bytes = resident_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -397,6 +397,11 @@ obs::RunReport CampaignResult::report(const CampaignConfig& config) const {
   r.values["skip"] = static_cast<double>(skip);
   r.values["states_total"] = static_cast<double>(states_total);
   r.values["shards"] = static_cast<double>(shards_used);
+  // Only meaningful when the per-scenario profiles were merged; gating on
+  // that also keeps default reports (and their committed baselines) stable.
+  if (config.collect_profile)
+    r.values["search.table_peak_resident_bytes"] =
+        static_cast<double>(profile.table_peak_resident_bytes);
   r.values["shard_index"] = static_cast<double>(config.shard_index);
   r.values["shard_total"] = static_cast<double>(config.shard_total);
   r.values["truth_cache.disk_hits"] = static_cast<double>(truth_disk_hits);
@@ -570,6 +575,8 @@ CampaignResult run_range_impl(const CampaignConfig& config,
             snap.search.table_arena_bytes += s.table.arena_bytes;
             snap.search.table_stripes += s.table.stripes;
             snap.search.table_contended_locks += s.table.contended_locks;
+            snap.search.table_probation_keys += s.table.probation_keys;
+            snap.search.table_resident_bytes += s.table.resident_bytes;
             for (const analysis::SearchProfile& p : s.workers)
               live_merged.merge_from(p);
             // The `workers` rows carry each worker's accumulated totals.
@@ -591,6 +598,11 @@ CampaignResult run_range_impl(const CampaignConfig& config,
           snap.search.peak_depth = live_merged.peak_depth;
           snap.search.branch_truncations = live_merged.branch_truncations;
           snap.search.budget_prunes = live_merged.budget_prunes;
+          snap.search.reexplorations = live_merged.reexplorations;
+          snap.search.steals = live_merged.steals;
+          snap.search.steal_attempts = live_merged.steal_attempts;
+          snap.search.splits = live_merged.splits;
+          snap.search.split_items = live_merged.split_items;
           snap.search.branch_p50 = live_merged.branch_factor.p50();
           snap.search.branch_p90 = live_merged.branch_factor.p90();
           snap.search.branch_p99 = live_merged.branch_factor.p99();

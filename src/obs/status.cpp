@@ -30,6 +30,11 @@ void append_search(std::string& out, const SearchStatus& s) {
   out += ",\"peak_depth\":" + json::number_u64(s.peak_depth);
   out += ",\"branch_truncations\":" + json::number_u64(s.branch_truncations);
   out += ",\"budget_prunes\":" + json::number_u64(s.budget_prunes);
+  out += ",\"reexplorations\":" + json::number_u64(s.reexplorations);
+  out += ",\"steals\":" + json::number_u64(s.steals);
+  out += ",\"steal_attempts\":" + json::number_u64(s.steal_attempts);
+  out += ",\"splits\":" + json::number_u64(s.splits);
+  out += ",\"split_items\":" + json::number_u64(s.split_items);
   out += ",\"branch_p50\":" + json::number(s.branch_p50);
   out += ",\"branch_p90\":" + json::number(s.branch_p90);
   out += ",\"branch_p99\":" + json::number(s.branch_p99);
@@ -39,6 +44,10 @@ void append_search(std::string& out, const SearchStatus& s) {
   out += ",\"table_stripes\":" + json::number_u64(s.table_stripes);
   out += ",\"table_contended_locks\":" +
          json::number_u64(s.table_contended_locks);
+  out += ",\"table_probation_keys\":" +
+         json::number_u64(s.table_probation_keys);
+  out += ",\"table_resident_bytes\":" +
+         json::number_u64(s.table_resident_bytes);
   out += "}";
 }
 
@@ -83,6 +92,12 @@ void append_worker(std::string& out, const WorkerStatus& w) {
   out += ",\"peak_depth\":" + json::number_u64(w.peak_depth);
   out += ",\"branch_truncations\":" + json::number_u64(w.branch_truncations);
   out += ",\"budget_prunes\":" + json::number_u64(w.budget_prunes);
+  out += ",\"reexplorations\":" + json::number_u64(w.reexplorations);
+  out += ",\"steals\":" + json::number_u64(w.steals);
+  out += ",\"steal_attempts\":" + json::number_u64(w.steal_attempts);
+  out += ",\"splits\":" + json::number_u64(w.splits);
+  out += ",\"busy_ns\":" + json::number_u64(w.busy_ns);
+  out += ",\"idle_ns\":" + json::number_u64(w.idle_ns);
   out += ",\"branch_p50\":" + json::number(w.branch_p50);
   out += ",\"branch_p90\":" + json::number(w.branch_p90);
   out += ",\"branch_p99\":" + json::number(w.branch_p99);

@@ -50,14 +50,20 @@ struct SearchStatus {
   std::uint64_t searches_finished = 0;
   std::uint64_t states_explored = 0;  ///< current (or last) search
   std::uint64_t max_states = 0;
-  std::uint64_t frontier_size = 0;  ///< parallel frontier items built
-  std::uint64_t frontier_next = 0;  ///< items claimed so far
+  std::uint64_t frontier_size = 0;  ///< work items created so far
+  std::uint64_t frontier_next = 0;  ///< work items completed so far
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
   double memo_hit_rate = 0;
   std::uint64_t peak_depth = 0;
   std::uint64_t branch_truncations = 0;
   std::uint64_t budget_prunes = 0;
+  std::uint64_t reexplorations = 0;  ///< probation-tier second expansions
+  // Work-stealing scheduler counters, summed over the workers.
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t split_items = 0;
   double branch_p50 = 0;
   double branch_p90 = 0;
   double branch_p99 = 0;
@@ -66,6 +72,8 @@ struct SearchStatus {
   std::uint64_t table_arena_bytes = 0;
   std::uint64_t table_stripes = 0;
   std::uint64_t table_contended_locks = 0;
+  std::uint64_t table_probation_keys = 0;  ///< fingerprints in probation
+  std::uint64_t table_resident_bytes = 0;  ///< accounted footprint (== peak)
 };
 
 /// One worker's accumulated contribution. For a campaign this is a campaign
@@ -82,6 +90,12 @@ struct WorkerStatus {
   std::uint64_t peak_depth = 0;
   std::uint64_t branch_truncations = 0;
   std::uint64_t budget_prunes = 0;
+  std::uint64_t reexplorations = 0;
+  std::uint64_t steals = 0;         ///< items this worker stole
+  std::uint64_t steal_attempts = 0; ///< victim deques probed
+  std::uint64_t splits = 0;         ///< subtree re-splits performed
+  std::uint64_t busy_ns = 0;        ///< time expanding states
+  std::uint64_t idle_ns = 0;        ///< time hunting for work
   double branch_p50 = 0;
   double branch_p90 = 0;
   double branch_p99 = 0;

@@ -1,0 +1,93 @@
+// Campaign-scale soundness sweep for the two-tier StateTable.
+//
+// The unit tests in tests/analysis/probation_test.cpp pin the collision
+// corners; this suite is the statistical backstop: a pinned 500-scenario
+// campaign (families, random cyclic/acyclic algorithms, synthesized
+// tables) evaluated with the exact table and again with probation tiering,
+// asserting per-scenario verdict identity. Any fingerprint-collision prune
+// that slipped through the table's kReexplore contract would flip some
+// scenario's outcome (a false "no-deadlock" proof) and fail here with the
+// scenario index in hand.
+//
+// Tiering deliberately changes states (expansions are re-counted on second
+// touches), which is exactly why limits.memo_probation folds into the
+// truth-cache fingerprint — also pinned here.
+#include <gtest/gtest.h>
+
+#include "campaign/runner.hpp"
+#include "campaign/truth_store.hpp"
+
+namespace wormsim::campaign {
+namespace {
+
+CampaignConfig sweep_config() {
+  CampaignConfig config;
+  config.seed = 77;
+  config.count = 500;
+  config.shards = 2;
+  config.fixture_dir.clear();
+  config.shrink_disagreements = false;  // any disagreement fails loudly below
+  config.eval.limits.max_states = 400'000;
+  return config;
+}
+
+TEST(ProbationCampaign, FiveHundredScenarioVerdictsIdenticalWithTiering) {
+  CampaignConfig exact = sweep_config();
+  CampaignConfig tiered = sweep_config();
+  tiered.eval.limits.memo_probation = true;
+  // max_states budgets EXPANSIONS, and probation expands a multiply-touched
+  // state twice (DESIGN.md §16's <=2x bound) — so the tiered run gets twice
+  // the expansion budget to guarantee it covers every space the exact run
+  // finished. Without this, a scenario near the budget flips to
+  // "search-limit" under tiering, which is honest but not what this sweep
+  // is pinning (collision soundness).
+  tiered.eval.limits.max_states = 2 * exact.eval.limits.max_states;
+
+  const CampaignResult off = run_campaign(exact);
+  const CampaignResult on = run_campaign(tiered);
+
+  EXPECT_EQ(off.disagree, 0u);
+  EXPECT_EQ(on.disagree, 0u);
+  ASSERT_EQ(on.records.size(), off.records.size());
+  for (std::size_t i = 0; i < off.records.size(); ++i) {
+    const ScenarioRecord& a = off.records[i];
+    const ScenarioRecord& b = on.records[i];
+    SCOPED_TRACE(::testing::Message() << "scenario index " << a.index);
+    EXPECT_EQ(b.seed, a.seed);
+    EXPECT_EQ(b.rule, a.rule);
+    EXPECT_EQ(b.prediction, a.prediction);
+    EXPECT_EQ(b.outcome, a.outcome);  // the searched ground truth
+    EXPECT_EQ(b.verdict, a.verdict);
+    EXPECT_EQ(b.skip_reason, a.skip_reason);
+    // states may differ (probation re-counts second-touch expansions) but
+    // never shrinks below the exact engine's unique-state count.
+    EXPECT_GE(b.states, a.states);
+  }
+}
+
+TEST(ProbationCampaign, MemoKnobsFoldIntoTruthFingerprint) {
+  // Tiered and budgeted campaigns must not share cache records with exact
+  // ones: their recorded states (and, over budget, outcomes) differ. The
+  // schedule-only knobs must NOT re-namespace the cache.
+  const CampaignConfig base = sweep_config();
+  const std::uint64_t exact_fp = campaign_truth_fingerprint(base.eval);
+
+  CampaignConfig tiered = sweep_config();
+  tiered.eval.limits.memo_probation = true;
+  EXPECT_NE(campaign_truth_fingerprint(tiered.eval), exact_fp);
+
+  CampaignConfig budgeted = sweep_config();
+  budgeted.eval.limits.memo_budget_bytes = 1 << 20;
+  EXPECT_NE(campaign_truth_fingerprint(budgeted.eval), exact_fp);
+  EXPECT_NE(campaign_truth_fingerprint(budgeted.eval),
+            campaign_truth_fingerprint(tiered.eval));
+
+  CampaignConfig sched = sweep_config();
+  sched.eval.limits.steal_granularity = 2;
+  sched.eval.limits.threads = 8;
+  sched.eval.limits.canonical_witness = false;
+  EXPECT_EQ(campaign_truth_fingerprint(sched.eval), exact_fp);
+}
+
+}  // namespace
+}  // namespace wormsim::campaign

@@ -14,11 +14,13 @@ wormsim_test(analysis_tests
   analysis/deadlock_search_test.cpp
   analysis/message_flow_test.cpp
   analysis/parallel_search_test.cpp
+  analysis/probation_test.cpp
   analysis/reduction_test.cpp
   analysis/search_profile_test.cpp
   analysis/search_status_test.cpp
   analysis/state_table_test.cpp
-  analysis/waitfor_test.cpp)
+  analysis/waitfor_test.cpp
+  analysis/work_stealing_test.cpp)
 
 wormsim_test(obs_tests
   obs/metrics_test.cpp
@@ -46,6 +48,7 @@ wormsim_test(campaign_tests
   campaign/runner_test.cpp
   campaign/truth_store_test.cpp
   campaign/jsonl_schema_test.cpp
+  campaign/memo_campaign_test.cpp
   campaign/status_schema_test.cpp
   campaign/fixture_test.cpp
   campaign/reduction_campaign_test.cpp

@@ -13,7 +13,9 @@
 //                    [--cache-file FILE] [--shard-index I --shard-total N]
 //                    [--fixture-dir DIR] [--max-states N] [--bias any|force|forbid]
 //                    [--reduction off|safe|on] [--cross-check-reduction]
-//                    [--search-threads N] [--probe-out-of-scope] [--profile]
+//                    [--search-threads N] [--steal-granularity N]
+//                    [--memo-probation] [--memo-budget BYTES]
+//                    [--probe-out-of-scope] [--profile]
 //                    [--status-file FILE] [--status-interval SECONDS]
 //                    [--no-shrink] [--quiet]
 //   wormsim_campaign --replay FIXTURE.json [--max-states N] [--reduction MODE]
@@ -53,6 +55,8 @@ int usage(const char* argv0) {
                "          [--bias any|force|forbid] [--synth-fraction F]\n"
                "          [--synth-pairs N] [--reduction off|safe|on]\n"
                "          [--cross-check-reduction] [--search-threads N]\n"
+               "          [--steal-granularity N] [--memo-probation]\n"
+               "          [--memo-budget BYTES]\n"
                "          [--probe-out-of-scope] [--profile] [--no-shrink]\n"
                "          [--status-file FILE] [--status-interval SECONDS]\n"
                "          [--quiet]\n"
@@ -291,6 +295,21 @@ int main(int argc, char** argv) {
       // recorded states stay deterministic (see EvalOptions::limits).
       config.eval.limits.threads =
           static_cast<unsigned>(parse_u64(value(), "--search-threads"));
+    } else if (arg == "--steal-granularity") {
+      // Work-stealing split width; schedule-only, never folded into the
+      // truth fingerprint (campaign probes run single-threaded anyway).
+      config.eval.limits.steal_granularity =
+          static_cast<std::size_t>(parse_u64(value(), "--steal-granularity"));
+    } else if (arg == "--memo-probation") {
+      // Two-tier StateTable: fingerprints on first touch, exact keys on
+      // promotion. Changes recorded expansion counts, so it is folded into
+      // the truth fingerprint (docs/campaign.md).
+      config.eval.limits.memo_probation = true;
+    } else if (arg == "--memo-budget") {
+      // Cap on the StateTable's accounted bytes; over-budget searches
+      // report inconclusive, so this is fingerprint-affecting too.
+      config.eval.limits.memo_budget_bytes =
+          parse_u64(value(), "--memo-budget");
     } else if (arg == "--bias") {
       const std::string bias = value();
       if (bias == "any") {

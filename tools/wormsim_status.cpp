@@ -63,6 +63,7 @@ struct Row {
   bool search_active = false;
   std::uint64_t search_states = 0;
   std::uint64_t table_keys = 0;
+  std::uint64_t busy_ns = 0, idle_ns = 0;  ///< summed over worker rows
   std::size_t workers = 0;
 };
 
@@ -130,8 +131,14 @@ Row read_row(const std::string& path) {
     row.table_keys = u64_field(*search, "table_keys");
   }
   if (const Value* workers = parsed->find("workers");
-      workers && workers->is_array())
+      workers && workers->is_array()) {
     row.workers = workers->as_array().size();
+    for (const Value& w : workers->as_array()) {
+      if (!w.is_object()) continue;
+      row.busy_ns += u64_field(w, "busy_ns");
+      row.idle_ns += u64_field(w, "idle_ns");
+    }
+  }
   return row;
 }
 
@@ -157,11 +164,19 @@ void print_row(const std::string& label, const Row& row) {
           ? 100.0 * static_cast<double>(row.done) /
                 static_cast<double>(row.slice)
           : 0;
+  // Worker utilization: busy / (busy + idle) over every worker row. "-"
+  // when the producer published no timing (pre-work-stealing snapshots, or
+  // campaign workers that have not finished a search yet).
+  char util[16] = "-";
+  if (row.busy_ns + row.idle_ns > 0)
+    std::snprintf(util, sizeof util, "%.0f%%",
+                  100.0 * static_cast<double>(row.busy_ns) /
+                      static_cast<double>(row.busy_ns + row.idle_ns));
   std::printf(
       "%-28s %s %-10s seq=%llu %6.1f%% done=%llu/%llu agree=%llu "
       "disagree=%llu "
       "skip=%llu rate=%.1f/s eta=%s cache-hit=%.0f%% search[%s states=%llu "
-      "keys=%llu workers=%zu]\n",
+      "keys=%llu workers=%zu util=%s]\n",
       label.c_str(), row.running ? "RUN " : "DONE",
       row.kind.empty() ? "?" : row.kind.c_str(),
       static_cast<unsigned long long>(row.seq), pct,
@@ -173,7 +188,7 @@ void print_row(const std::string& label, const Row& row) {
       format_eta(row.eta).c_str(), 100.0 * row.truth_hit_rate,
       row.search_active ? "live" : "idle",
       static_cast<unsigned long long>(row.search_states),
-      static_cast<unsigned long long>(row.table_keys), row.workers);
+      static_cast<unsigned long long>(row.table_keys), row.workers, util);
   if (row.kind == "fleet")
     std::printf("%-28s   fleet batches=%llu/%llu leased=%llu "
                 "quarantined=%llu workers=%llu\n",
@@ -213,6 +228,8 @@ bool render(const std::vector<std::string>& files, bool* any_ok) {
     total.eta = std::max(total.eta, row.eta);
     total.search_states += row.search_states;
     total.table_keys += row.table_keys;
+    total.busy_ns += row.busy_ns;
+    total.idle_ns += row.idle_ns;
     total.search_active |= row.search_active;
     total.workers += row.workers;
     total.seq += row.seq;
